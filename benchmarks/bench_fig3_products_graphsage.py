@@ -1,0 +1,53 @@
+"""Figure 3 — GraphSage on ogbn-products: epoch time and peak memory vs workers.
+
+Paper setup: a 3-layer GraphSage network on ogbn-products partitioned over
+4 / 8 / 16 machines, comparing SAR against vanilla domain-parallel (DP)
+training.  Expected shape (Figs. 3a/3b): GraphSage is SAR's "case 1", so SAR
+and DP communicate the same volume and run at essentially the same speed,
+while SAR's peak per-worker memory is at or below DP's and shrinks as the
+number of workers grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_rows, print_figure, run_scaling_point
+from repro import nn
+
+WORKER_COUNTS = (4, 8, 16)
+
+
+def _factory(num_classes):
+    return lambda in_f: nn.GraphSageNet(in_f, 64, num_classes, dropout=0.0)
+
+
+def _collect(dataset):
+    rows = []
+    for workers in WORKER_COUNTS:
+        for mode, label in (("sar", "SAR"), ("dp", "vanilla DP")):
+            rows.append(
+                run_scaling_point(
+                    dataset, _factory(dataset.num_classes), num_workers=workers,
+                    mode=mode, label=label, num_epochs=2,
+                )
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_graphsage_products_scaling(benchmark, products_dataset):
+    rows = benchmark.pedantic(lambda: _collect(products_dataset), rounds=1, iterations=1)
+    print_figure("Figure 3 — GraphSage on ogbn-products-mini (SAR vs vanilla DP)", rows)
+    attach_rows(benchmark, rows)
+
+    by_key = {(r.label, r.num_workers): r for r in rows}
+    for workers in WORKER_COUNTS:
+        sar, dp = by_key[("SAR", workers)], by_key[("vanilla DP", workers)]
+        # Case 1: identical communication volume, SAR never uses more memory.
+        assert abs(sar.comm_mb_per_epoch - dp.comm_mb_per_epoch) < 0.05 * max(
+            dp.comm_mb_per_epoch, 1e-6)
+        assert sar.peak_memory_mb <= dp.peak_memory_mb * 1.05
+    # Memory per worker decreases as workers are added (Fig. 3b scaling).
+    assert by_key[("SAR", 16)].peak_memory_mb < by_key[("SAR", 4)].peak_memory_mb
+    assert by_key[("vanilla DP", 16)].peak_memory_mb < by_key[("vanilla DP", 4)].peak_memory_mb

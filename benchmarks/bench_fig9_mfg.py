@@ -1,0 +1,62 @@
+"""Figure 9 (Appendix B) — nodes that must be updated per layer with MFGs.
+
+The paper illustrates, on a small example graph with a single labelled node,
+which nodes each layer of a 2-layer GNN actually has to update when message
+flow graphs are used.  This benchmark reproduces the same quantity — the
+per-layer required-node counts — on (a) the paper-style toy graph and (b) the
+papers-mini graph with its sparse training labels, and checks the defining
+monotonicity property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, message_flow_masks, required_node_counts, mfg_savings
+
+
+def _paper_toy_graph():
+    """A 6-node, 10-edge directed graph with a single labelled node (node 0)."""
+    src = np.array([1, 2, 3, 4, 5, 2, 3, 4, 5, 1])
+    dst = np.array([0, 0, 1, 1, 2, 1, 2, 3, 4, 5])
+    return Graph(6, src, dst), np.array([0])
+
+
+def _collect(papers_dataset):
+    toy_graph, toy_seeds = _paper_toy_graph()
+    toy_counts = required_node_counts(toy_graph, toy_seeds, num_layers=2)
+    papers_counts = required_node_counts(
+        papers_dataset.graph, papers_dataset.train_indices(), num_layers=3
+    )
+    papers_savings = mfg_savings(
+        papers_dataset.graph, papers_dataset.train_indices(), num_layers=3
+    )
+    return toy_counts, papers_counts, papers_savings
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_mfg_required_nodes(benchmark, papers_dataset):
+    toy_counts, papers_counts, papers_savings = benchmark.pedantic(
+        lambda: _collect(papers_dataset), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 9 — nodes updated per layer with Message Flow Graphs ===")
+    print(f"toy graph (6 nodes, 1 labelled node), 2 layers: "
+          f"input→output counts = {toy_counts}")
+    print(f"ogbn-papers-mini ({papers_dataset.num_nodes} nodes, "
+          f"{int(papers_dataset.train_mask.sum())} labelled), 3 layers: "
+          f"counts = {papers_counts}")
+    print(f"fraction of node updates avoided on papers-mini: {papers_savings:.2%}")
+    benchmark.extra_info["toy_counts"] = [int(c) for c in toy_counts]
+    benchmark.extra_info["papers_counts"] = [int(c) for c in papers_counts]
+
+    # Output layer touches only the labelled nodes; earlier layers need more.
+    assert toy_counts[-1] == 1
+    assert toy_counts[0] >= toy_counts[1] >= toy_counts[2]
+    assert papers_counts[-1] == int(papers_dataset.train_mask.sum())
+    assert all(papers_counts[i] >= papers_counts[i + 1] for i in range(len(papers_counts) - 1))
+    # Masks are consistent with counts.
+    toy_graph, toy_seeds = _paper_toy_graph()
+    masks = message_flow_masks(toy_graph, toy_seeds, num_layers=2)
+    assert [int(m.sum()) for m in masks] == toy_counts

@@ -1,0 +1,26 @@
+"""Benchmark fixtures: session-scoped datasets shared across figures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def products_dataset():
+    from repro.datasets import ogbn_products_mini
+
+    return ogbn_products_mini(scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def papers_dataset():
+    from repro.datasets import ogbn_papers_mini
+
+    return ogbn_papers_mini(scale=0.4)
+
+
+@pytest.fixture(scope="session")
+def mag_dataset():
+    from repro.datasets import ogbn_mag_mini
+
+    return ogbn_mag_mini(scale=0.4)

@@ -1,0 +1,55 @@
+"""The paper's full accuracy pipeline: label augmentation + Correct & Smooth.
+
+Reproduces the Table-1 training recipe on ogbn-products-mini: a GraphSage
+network trained full-batch with SAR using masked label prediction (a random
+subset of training nodes reveals its label as an input feature every epoch),
+followed by the Correct & Smooth post-processing stage, which propagates
+training residuals and clamped labels through the graph using the same
+distributed propagation machinery as SAR itself.
+
+Run with:  python examples/label_aug_and_correct_smooth.py
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.core import SARConfig
+from repro.datasets import ogbn_products_mini
+from repro.training import CorrectAndSmooth, DistributedTrainer, TrainingConfig
+from repro.utils.seed import set_seed
+
+
+def train(dataset, label_augmentation: bool, correct_and_smooth: bool):
+    set_seed(0)
+
+    def factory(in_features: int) -> nn.Module:
+        return nn.GraphSageNet(in_features, 64, dataset.num_classes, dropout=0.3)
+
+    config = TrainingConfig(
+        num_epochs=30, lr=0.01, eval_every=0, lr_schedule="cosine",
+        label_augmentation=label_augmentation,
+        correct_and_smooth=correct_and_smooth,
+        cs_params=CorrectAndSmooth(num_correct_iters=20, num_smooth_iters=20),
+    )
+    trainer = DistributedTrainer(dataset, factory, num_workers=4,
+                                 sar_config=SARConfig("sar"), config=config)
+    return trainer.run()
+
+
+def main() -> None:
+    dataset = ogbn_products_mini(scale=0.5)
+    print("Dataset:", dataset.summary())
+
+    plain = train(dataset, label_augmentation=False, correct_and_smooth=False)
+    full = train(dataset, label_augmentation=True, correct_and_smooth=True)
+
+    print(f"\n{'configuration':<40} {'test accuracy':>14}")
+    print(f"{'GraphSage (plain)':<40} {plain.training.final_test_accuracy:>14.4f}")
+    print(f"{'GraphSage + label augmentation':<40} "
+          f"{full.training.final_test_accuracy:>14.4f}")
+    print(f"{'GraphSage + label aug + Correct&Smooth':<40} "
+          f"{full.training.cs_accuracies['test']:>14.4f}")
+
+
+if __name__ == "__main__":
+    main()

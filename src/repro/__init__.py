@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Sequential Aggregation and Rematerialization:
+Distributed Full-batch Training of Graph Neural Networks on Large Graphs"
+(Mostafa, MLSys 2022).
+
+The package is organized as:
+
+* :mod:`repro.tensor`       — NumPy-backed autograd engine with per-worker memory tracking
+* :mod:`repro.graph`        — graph data structures, generators, message-flow graphs
+* :mod:`repro.partition`    — balanced k-way partitioning, partition book, per-worker shards
+* :mod:`repro.distributed`  — simulated cluster runtime, communicator, cost model
+* :mod:`repro.nn`           — GNN layers (GraphSage, GAT, fused-attention GAT, R-GCN) and models
+* :mod:`repro.core`         — SAR itself: distributed graph handles, sequential aggregation,
+                              rematerialized backward passes, gradient synchronization
+* :mod:`repro.datasets`     — synthetic stand-ins for ogbn-products / papers100M / mag
+* :mod:`repro.training`     — full-batch trainers, label augmentation, Correct & Smooth
+"""
+
+__version__ = "0.1.0"
+
+from repro import tensor
+from repro import graph
+from repro import partition
+from repro import distributed
+from repro import nn
+from repro import core
+from repro import datasets
+from repro import training
+from repro import utils
+
+__all__ = [
+    "__version__",
+    "tensor",
+    "graph",
+    "partition",
+    "distributed",
+    "nn",
+    "core",
+    "datasets",
+    "training",
+    "utils",
+]

@@ -1,0 +1,45 @@
+"""SAR core: distributed graph handles, sequential aggregation, rematerialization.
+
+This package implements the paper's contribution:
+
+* :class:`~repro.core.config.SARConfig` — selects vanilla domain-parallel
+  ("dp") or Sequential-Aggregation-and-Rematerialization ("sar") execution,
+  optional prefetching, and the stable running softmax.
+* :class:`~repro.core.dist_graph.DistributedGraph` /
+  :class:`~repro.core.dist_graph.DistributedHeteroGraph` — the per-worker
+  graph handles that unmodified model code consumes.
+* The distributed aggregation autograd functions for case 1 (GraphSage) and
+  case 2 (GAT, R-GCN), the running stable softmax, and parameter-gradient
+  synchronization.
+"""
+
+from repro.core.config import SARConfig, SAR, SAR_PREFETCH, DOMAIN_PARALLEL
+from repro.core.dist_graph import DistributedGraph, DistributedHeteroGraph
+from repro.core.halo import HaloExchange, pack_features, unpack_features
+from repro.core.stable_softmax import RunningSoftmaxAccumulator
+from repro.core.grad_sync import sync_gradients, broadcast_parameters, parameters_in_sync
+from repro.core.sage_dist import distributed_neighbor_aggregate, DistributedSumAggregation
+from repro.core.gat_dist import distributed_gat_aggregate, DistributedGATAggregation
+from repro.core.rgcn_dist import distributed_rgcn_aggregate, DistributedRelationalAggregation
+
+__all__ = [
+    "SARConfig",
+    "SAR",
+    "SAR_PREFETCH",
+    "DOMAIN_PARALLEL",
+    "DistributedGraph",
+    "DistributedHeteroGraph",
+    "HaloExchange",
+    "pack_features",
+    "unpack_features",
+    "RunningSoftmaxAccumulator",
+    "sync_gradients",
+    "broadcast_parameters",
+    "parameters_in_sync",
+    "distributed_neighbor_aggregate",
+    "DistributedSumAggregation",
+    "distributed_gat_aggregate",
+    "DistributedGATAggregation",
+    "distributed_rgcn_aggregate",
+    "DistributedRelationalAggregation",
+]

@@ -1,0 +1,238 @@
+"""Distributed graph handles.
+
+A :class:`DistributedGraph` (or :class:`DistributedHeteroGraph`) is the
+object a worker passes to unmodified model code in place of a regular
+:class:`~repro.graph.graph.Graph`: the GNN layers detect it and route their
+neighbour aggregation through the SAR / domain-parallel machinery.  This
+mirrors how the SAR library swaps DGL's graph for a ``GraphShardManager``
+while the model definition stays untouched.
+
+Each handle owns:
+
+* the worker's :class:`~repro.partition.shard.ShardedGraph` (local vertices,
+  the ``G_{p,q}`` edge blocks, local slices of node data),
+* the communicator,
+* the :class:`~repro.core.config.SARConfig` execution mode,
+* the one-time halo routing information, and
+* a per-step operation counter that generates identical publish/fetch keys on
+  every worker (the models are replicas, so the op sequence is identical).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SARConfig, SAR
+from repro.core.gat_dist import distributed_gat_aggregate
+from repro.core.halo import HaloExchange
+from repro.core.rgcn_dist import distributed_rgcn_aggregate
+from repro.core.sage_dist import distributed_neighbor_aggregate
+from repro.distributed.comm import Communicator
+from repro.partition.shard import ShardedGraph, ShardedHeteroGraph
+from repro.tensor.tensor import Tensor
+
+
+class _DistributedGraphBase:
+    """Shared bookkeeping for the homogeneous and heterogeneous handles."""
+
+    def __init__(self, comm: Communicator, config: SARConfig):
+        self.comm = comm
+        self.config = config
+        self._step = 0
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def world_size(self) -> int:
+        return self.comm.world_size
+
+    def begin_step(self) -> None:
+        """Start a new training/inference iteration (collective call).
+
+        Clears the previous iteration's published tensors and advances the
+        key namespace so stale data can never be fetched by a faster worker.
+        """
+        self.comm.barrier()
+        self.comm.clear_published()
+        self._step += 1
+        self._op_counter = 0
+
+    def _next_key(self, name: str) -> str:
+        self._op_counter += 1
+        return f"s{self._step}/{name}{self._op_counter}"
+
+
+class DistributedGraph(_DistributedGraphBase):
+    """Worker-local handle over a partitioned homogeneous graph."""
+
+    def __init__(self, shard: ShardedGraph, comm: Communicator,
+                 config: SARConfig = SAR):
+        super().__init__(comm, config)
+        self.shard = shard
+        self.halo = HaloExchange(comm, shard.blocks, name="homo")
+
+    # -- graph-like interface ------------------------------------------- #
+    @property
+    def num_nodes(self) -> int:
+        """Number of *local* nodes (the rows of this worker's feature matrix)."""
+        return self.shard.num_local_nodes
+
+    @property
+    def num_total_nodes(self) -> int:
+        return self.shard.num_total_nodes
+
+    @property
+    def ndata(self) -> Dict[str, np.ndarray]:
+        return self.shard.node_data
+
+    @property
+    def global_node_ids(self) -> np.ndarray:
+        return self.shard.global_node_ids
+
+    def in_degrees(self) -> np.ndarray:
+        """Global in-degree of each local node."""
+        return self.shard.local_in_degrees
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedGraph(rank={self.rank}/{self.world_size}, mode={self.config.mode!r}, "
+            f"local_nodes={self.num_nodes}, halo={self.shard.halo_size})"
+        )
+
+    # -- aggregation entry points (called by the nn layers) -------------- #
+    def aggregate_neighbors(self, z: Tensor, op: str = "mean") -> Tensor:
+        """Sum/mean aggregation over the full (distributed) neighbourhood (case 1)."""
+        return distributed_neighbor_aggregate(
+            z, self.shard, self.comm, self.halo, self.config,
+            self._next_key("sage"), op=op,
+        )
+
+    def gat_aggregate(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
+                      negative_slope: float = 0.2, fused: bool = False) -> Tensor:
+        """Attention aggregation over the full (distributed) neighbourhood (case 2)."""
+        return distributed_gat_aggregate(
+            z, score_dst, score_src, self.shard, self.comm, self.halo, self.config,
+            self._next_key("gat"), negative_slope=negative_slope, fused=fused,
+        )
+
+    # -- non-learnable propagation (Correct & Smooth) --------------------- #
+    def propagate(self, values: np.ndarray, normalization: str = "mean") -> np.ndarray:
+        """One round of non-learnable message propagation (no autograd).
+
+        Used by Correct & Smooth, which the paper implements "within the same
+        framework as SAR" because it is the same kind of neighbourhood
+        aggregation, just without trainable parameters or a backward pass.
+        ``normalization`` is ``"mean"`` (divide by in-degree) or ``"sym"``
+        (symmetric :math:`D^{-1/2} A D^{-1/2}` using global degrees).
+        """
+        if normalization not in ("mean", "sym", "none"):
+            raise ValueError(f"Unknown normalization {normalization!r}")
+        key = self._next_key("prop")
+        values = np.asarray(values, dtype=np.float32)
+        out_degrees = self._global_out_degrees()
+        if normalization == "sym":
+            scaled = values / np.sqrt(np.maximum(out_degrees, 1.0))[:, None]
+        else:
+            scaled = values
+        self.comm.publish(f"{key}/v", scaled)
+        acc = np.zeros((self.num_nodes, values.shape[1]), dtype=np.float32)
+        for q in range(self.world_size):
+            block = self.shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            if q == self.rank:
+                feats = scaled[block.required_src_local]
+            else:
+                feats = self.comm.fetch(q, f"{key}/v", rows=block.required_src_local,
+                                        tag="propagate")
+            acc += block.aggregation_matrix() @ feats
+        degrees = np.maximum(self.shard.local_in_degrees, 1).astype(np.float32)
+        if normalization == "mean":
+            acc /= degrees[:, None]
+        elif normalization == "sym":
+            acc /= np.sqrt(degrees)[:, None]
+        self.comm.barrier()
+        return acc
+
+    def _global_out_degrees(self) -> np.ndarray:
+        """Global out-degree of each local node (cached; needs one exchange)."""
+        cached = getattr(self, "_out_degree_cache", None)
+        if cached is not None:
+            return cached
+        # Each edge s→d contributes to s's out-degree; the owner of d knows the
+        # edge, so workers exchange per-source counts for remote sources.
+        local_counts = np.zeros(self.num_nodes, dtype=np.float64)
+        outgoing: Dict[int, np.ndarray] = {}
+        for q in range(self.world_size):
+            block = self.shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            counts = np.bincount(block.src_index,
+                                 minlength=block.num_required_src).astype(np.float64)
+            if q == self.rank:
+                np.add.at(local_counts, block.required_src_local, counts)
+            else:
+                outgoing[q] = counts
+        received = self.comm.exchange("setup/out_degrees", outgoing, tag="setup")
+        self.halo.scatter_add_errors(local_counts[:, None],
+                                     {p: v[:, None] for p, v in received.items()})
+        self._out_degree_cache = local_counts
+        return local_counts
+
+
+class DistributedHeteroGraph(_DistributedGraphBase):
+    """Worker-local handle over a partitioned heterogeneous (relational) graph."""
+
+    def __init__(self, shard: ShardedHeteroGraph, comm: Communicator,
+                 config: SARConfig = SAR):
+        super().__init__(comm, config)
+        self.shard = shard
+        self.halos: Dict[str, HaloExchange] = {
+            relation: HaloExchange(comm, blocks, name=f"rel-{relation}")
+            for relation, blocks in shard.relation_blocks.items()
+        }
+
+    @property
+    def num_nodes(self) -> int:
+        return self.shard.num_local_nodes
+
+    @property
+    def num_total_nodes(self) -> int:
+        return self.shard.num_total_nodes
+
+    @property
+    def ndata(self) -> Dict[str, np.ndarray]:
+        return self.shard.node_data
+
+    @property
+    def global_node_ids(self) -> np.ndarray:
+        return self.shard.global_node_ids
+
+    @property
+    def relation_names(self) -> Sequence[str]:
+        return self.shard.relation_names
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedHeteroGraph(rank={self.rank}/{self.world_size}, "
+            f"mode={self.config.mode!r}, local_nodes={self.num_nodes}, "
+            f"relations={list(self.relation_names)})"
+        )
+
+    def rgcn_aggregate(self, x: Tensor, relation_weights: Tensor,
+                       relation_names: Sequence[str], in_features: int,
+                       out_features: int) -> Tensor:
+        """Relational aggregation over the full (distributed) neighbourhood (case 2)."""
+        missing = [r for r in relation_names if r not in self.shard.relation_blocks]
+        if missing:
+            raise KeyError(f"Relations {missing} are not present in this graph shard")
+        return distributed_rgcn_aggregate(
+            x, relation_weights, self.shard, self.comm, self.halos, self.config,
+            self._next_key("rgcn"), relation_names, in_features, out_features,
+        )

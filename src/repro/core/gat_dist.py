@@ -1,0 +1,248 @@
+"""Distributed attention aggregation (GAT) — SAR "case 2" (paper §3.2, §3.3).
+
+The attention aggregator needs the values of the remote neighbour features to
+compute gradients (product-like operator), so SAR must *re-fetch* them during
+the backward pass and rematerialize the per-edge attention coefficients block
+by block — this is the ~50 % communication overhead over vanilla
+domain-parallel training discussed in the paper.  The forward pass aggregates
+sequentially with the numerically stable running softmax of §3.4.
+
+Execution modes (from :class:`~repro.core.config.SARConfig` plus the layer's
+kernel choice):
+
+* vanilla DP (``mode="dp"``): halo feature blocks *and* per-edge attention
+  logits are wrapped in tensors and saved for the backward pass (the memory
+  profile of the standard DGL implementation), no backward re-fetch;
+* plain SAR (``mode="sar"``, ``fused=False``): nothing edge-sized survives the
+  forward pass; the backward pass re-fetches remote features and recomputes
+  the per-edge quantities with the standard multi-step kernel;
+* SAR+FAK (``mode="sar"``, ``fused=True``): same communication pattern, but
+  the per-block forward/backward math uses the fused kernels that avoid
+  materializing separate logit/weight arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import SARConfig
+from repro.core.halo import HaloExchange, pack_features, unpack_features
+from repro.core.stable_softmax import RunningSoftmaxAccumulator
+from repro.core.sage_dist import _block_order, _halo_retention
+from repro.distributed.comm import Communicator
+from repro.partition.shard import EdgeBlock, ShardedGraph
+from repro.tensor.sparse import segment_sum_np
+from repro.tensor.tensor import Function, Tensor
+
+_TINY = np.finfo(np.float32).tiny
+
+
+# --------------------------------------------------------------------------- #
+# per-block kernels
+# --------------------------------------------------------------------------- #
+def _block_logits_standard(score_dst: np.ndarray, score_src_block: np.ndarray,
+                           block: EdgeBlock, negative_slope: float
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard multi-step computation: gather, add, LeakyReLU (materializes both)."""
+    gathered_dst = score_dst[block.dst_local]
+    gathered_src = score_src_block[block.src_index]
+    raw = gathered_dst + gathered_src
+    logits = np.where(raw > 0, raw, negative_slope * raw)
+    return raw, logits
+
+
+def _block_logits_fused(score_dst: np.ndarray, score_src_block: np.ndarray,
+                        block: EdgeBlock, negative_slope: float
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused computation: a single expression, only the logits array survives."""
+    raw = score_dst[block.dst_local] + score_src_block[block.src_index]
+    return raw, np.where(raw > 0, raw, negative_slope * raw)
+
+
+def _weighted_block_aggregate(block: EdgeBlock, weights: np.ndarray, values: np.ndarray,
+                              num_dst: int) -> np.ndarray:
+    """``out[d] += Σ_e w_e · values[src_e]`` for one block (per attention head)."""
+    heads, dim = values.shape[1], values.shape[2]
+    out = np.empty((num_dst, heads, dim), dtype=values.dtype)
+    for h in range(heads):
+        adj = sp.csr_matrix(
+            (weights[:, h], (block.dst_local, block.src_index)),
+            shape=(num_dst, values.shape[0]),
+        )
+        out[:, h, :] = adj @ values[:, h, :]
+    return out
+
+
+def _weighted_block_transpose(block: EdgeBlock, weights: np.ndarray, grad_out: np.ndarray,
+                              num_src: int) -> np.ndarray:
+    """``grad_src[s] += Σ_e w_e · grad_out[dst_e]`` for one block (per head)."""
+    heads, dim = grad_out.shape[1], grad_out.shape[2]
+    out = np.empty((num_src, heads, dim), dtype=grad_out.dtype)
+    for h in range(heads):
+        adj_t = sp.csr_matrix(
+            (weights[:, h], (block.src_index, block.dst_local)),
+            shape=(num_src, grad_out.shape[0]),
+        )
+        out[:, h, :] = adj_t @ grad_out[:, h, :]
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# the distributed aggregation function
+# --------------------------------------------------------------------------- #
+class DistributedGATAggregation(Function):
+    """Attention-weighted neighbour aggregation across graph partitions."""
+
+    def forward(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
+                shard: ShardedGraph, comm: Communicator, halo: HaloExchange,
+                config: SARConfig, key: str, negative_slope: float,
+                fused: bool) -> np.ndarray:
+        z_data, sd, ss = z.data, score_dst.data, score_src.data
+        if z_data.ndim != 3:
+            raise ValueError(f"Expected z of shape (N, heads, dim), got {z_data.shape}")
+        num_local, heads, dim = z_data.shape
+        logits_fn = _block_logits_fused if fused else _block_logits_standard
+
+        # Publish the (features, attention score) tuple so peers can fetch both
+        # in one message — the "message is a 2-tuple" of the paper's Eq. 3.
+        comm.publish(f"{key}/zs", pack_features(z_data, ss))
+
+        accumulator = RunningSoftmaxAccumulator(
+            num_local, heads, dim, dtype=z_data.dtype, stable=config.stable_softmax
+        )
+        retention = _halo_retention(config)
+        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
+        saved_halos: List[Optional[Tensor]] = [None] * shard.num_parts
+        saved_logits: List[Optional[Tensor]] = [None] * shard.num_parts
+
+        for q in _block_order(shard.rank, shard.num_parts):
+            block = shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            if q == shard.rank:
+                z_q = z_data[block.required_src_local]
+                ss_q = ss[block.required_src_local]
+            else:
+                fetched = Tensor(
+                    comm.fetch(q, f"{key}/zs", rows=block.required_src_local,
+                               tag="forward_halo")
+                )
+                resident.append(fetched)
+                if config.is_domain_parallel:
+                    saved_halos[q] = fetched
+                z_q, ss_q = unpack_features(fetched.data, [(heads, dim), (heads,)])
+            raw, logits = logits_fn(sd, ss_q, block, negative_slope)
+            if config.is_domain_parallel:
+                # Vanilla DP materializes per-edge attention tensors in the graph.
+                saved_logits[q] = Tensor(logits if fused else np.stack([raw, logits]))
+            accumulator.add_block(
+                logits, z_q, block.dst_local,
+                lambda weights, _block=block, _z=z_q: _weighted_block_aggregate(
+                    _block, weights, _z, num_local
+                ),
+            )
+
+        out = accumulator.finalize()
+        running_max, denominator = accumulator.state()
+        self.save_for_backward(
+            shard, comm, halo, config, key, negative_slope, fused,
+            z_data.shape, sd, running_max, denominator, out,
+            saved_halos, saved_logits,
+        )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def backward(self, grad_out):
+        (shard, comm, halo, config, key, negative_slope, fused,
+         z_shape, sd, running_max, denominator, out,
+         saved_halos, saved_logits) = self.saved
+        num_local, heads, dim = z_shape
+        z_local = self.parents[0].data
+        ss_local = self.parents[2].data
+        logits_fn = _block_logits_fused if fused else _block_logits_standard
+        safe_max = np.where(np.isfinite(running_max), running_max, 0.0)
+
+        # Softmax backward needs Σ_j α_j <z_j, grad_i> per destination node; by
+        # linearity that equals <out_i, grad_i>, so no extra pass over edges.
+        weighted_sum = np.einsum("nhd,nhd->nh", out, grad_out)
+
+        grad_z = np.zeros(z_shape, dtype=grad_out.dtype)
+        grad_sd = np.zeros((num_local, heads), dtype=grad_out.dtype)
+        grad_ss = np.zeros((num_local, heads), dtype=grad_out.dtype)
+        outgoing: Dict[int, np.ndarray] = {}
+
+        for q in _block_order(shard.rank, shard.num_parts):
+            block = shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            # ---- rematerialize the block inputs -------------------------- #
+            if q == shard.rank:
+                z_q = z_local[block.required_src_local]
+                ss_q = ss_local[block.required_src_local]
+            elif config.is_domain_parallel:
+                z_q, ss_q = unpack_features(saved_halos[q].data, [(heads, dim), (heads,)])
+            else:
+                # SAR case 2: re-fetch the remote features (the paper's ~50 %
+                # extra communication for attention-based models).
+                refetched = comm.fetch(q, f"{key}/zs", rows=block.required_src_local,
+                                       tag="backward_refetch")
+                z_q, ss_q = unpack_features(refetched, [(heads, dim), (heads,)])
+            # ---- rematerialize the per-edge attention coefficients ------- #
+            if config.is_domain_parallel and saved_logits[q] is not None:
+                stored = saved_logits[q].data
+                if fused:
+                    raw = None
+                    logits = stored
+                else:
+                    raw, logits = stored[0], stored[1]
+            else:
+                raw, logits = logits_fn(sd, ss_q, block, negative_slope)
+            weights = np.exp(logits - safe_max[block.dst_local])
+            alpha = weights / denominator[block.dst_local]
+
+            # ---- gradients ----------------------------------------------- #
+            grad_z_q = _weighted_block_transpose(block, alpha, grad_out, z_q.shape[0])
+            grad_alpha = np.einsum("ehd,ehd->eh", z_q[block.src_index],
+                                   grad_out[block.dst_local])
+            grad_logits = alpha * (grad_alpha - weighted_sum[block.dst_local])
+            if raw is None:
+                positive = logits > 0
+            else:
+                positive = raw > 0
+            grad_raw = np.where(positive, grad_logits, negative_slope * grad_logits)
+            grad_ss_q = segment_sum_np(grad_raw, block.src_index, z_q.shape[0])
+            grad_sd += segment_sum_np(grad_raw, block.dst_local, num_local)
+
+            if q == shard.rank:
+                np.add.at(grad_z, block.required_src_local, grad_z_q)
+                np.add.at(grad_ss, block.required_src_local, grad_ss_q)
+            else:
+                outgoing[q] = pack_features(
+                    grad_z_q.astype(np.float32), grad_ss_q.astype(np.float32)
+                )
+
+        received = comm.exchange(f"{key}/err", outgoing, tag="backward_error")
+        for peer, packed in received.items():
+            if peer == shard.rank:
+                continue
+            rows = halo.rows_needed_by_peer.get(peer)
+            if rows is None or packed.size == 0:
+                continue
+            err_z, err_ss = unpack_features(packed, [(heads, dim), (heads,)])
+            np.add.at(grad_z, rows, err_z)
+            np.add.at(grad_ss, rows, err_ss)
+        return grad_z, grad_sd, grad_ss
+
+
+def distributed_gat_aggregate(z: Tensor, score_dst: Tensor, score_src: Tensor,
+                              shard: ShardedGraph, comm: Communicator, halo: HaloExchange,
+                              config: SARConfig, key: str, negative_slope: float = 0.2,
+                              fused: bool = False) -> Tensor:
+    """Functional wrapper used by :class:`repro.core.dist_graph.DistributedGraph`."""
+    return DistributedGATAggregation.apply(
+        z, score_dst, score_src, shard, comm, halo, config, key, negative_slope, fused
+    )

@@ -1,0 +1,130 @@
+"""Distributed relational (R-GCN) aggregation — SAR "case 2" (paper Appendix A).
+
+The R-GCN aggregator applies a *learnable* relation-specific weight ``W_r``
+to neighbour features inside the aggregation, so backpropagating to ``W_r``
+requires the neighbour feature values.  As with GAT, SAR therefore re-fetches
+remote features during the backward pass, while vanilla domain-parallel
+training keeps every fetched halo block alive from the forward pass instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SARConfig
+from repro.core.halo import HaloExchange
+from repro.core.sage_dist import _block_order, _halo_retention
+from repro.distributed.comm import Communicator
+from repro.partition.shard import ShardedHeteroGraph
+from repro.tensor.tensor import Function, Tensor
+
+
+class DistributedRelationalAggregation(Function):
+    """``out[i] = Σ_r (1/|N_r(i)|) Σ_{j ∈ N_r(i)} W_r x_j`` across partitions."""
+
+    def forward(self, x: Tensor, relation_weights: Tensor, shard: ShardedHeteroGraph,
+                comm: Communicator, halos: Dict[str, HaloExchange], config: SARConfig,
+                key: str, relation_names: Sequence[str], in_features: int,
+                out_features: int) -> np.ndarray:
+        data = x.data
+        if data.shape[1] != in_features:
+            raise ValueError(
+                f"Input features have width {data.shape[1]}, layer expects {in_features}"
+            )
+        weights = relation_weights.data
+        if weights.shape != (len(relation_names), in_features * out_features):
+            raise ValueError(
+                "relation_weights must have shape (num_relations, in_features * out_features), "
+                f"got {weights.shape}"
+            )
+        num_local = shard.num_local_nodes
+        comm.publish(f"{key}/x", data)
+
+        retention = _halo_retention(config)
+        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
+        saved_halos: Dict[str, List[Optional[Tensor]]] = {
+            rel: [None] * shard.num_parts for rel in relation_names
+        }
+        acc = np.zeros((num_local, out_features), dtype=data.dtype)
+
+        for r_index, relation in enumerate(relation_names):
+            w_r = weights[r_index].reshape(in_features, out_features)
+            blocks = shard.relation_blocks[relation]
+            degrees = np.maximum(shard.relation_in_degrees[relation], 1).astype(data.dtype)
+            relation_acc = np.zeros((num_local, out_features), dtype=data.dtype)
+            for q in _block_order(shard.rank, shard.num_parts):
+                block = blocks[q]
+                if block.num_edges == 0:
+                    continue
+                if q == shard.rank:
+                    x_q = data[block.required_src_local]
+                else:
+                    fetched = Tensor(
+                        comm.fetch(q, f"{key}/x", rows=block.required_src_local,
+                                   tag="forward_halo")
+                    )
+                    resident.append(fetched)
+                    if config.is_domain_parallel:
+                        saved_halos[relation][q] = fetched
+                    x_q = fetched.data
+                relation_acc += block.aggregation_matrix() @ (x_q @ w_r)
+            acc += relation_acc / degrees[:, None]
+
+        self.save_for_backward(shard, comm, halos, config, key, list(relation_names),
+                               in_features, out_features, data.shape, weights.shape,
+                               saved_halos)
+        return acc
+
+    # ------------------------------------------------------------------ #
+    def backward(self, grad_out):
+        (shard, comm, halos, config, key, relation_names, in_features, out_features,
+         x_shape, weights_shape, saved_halos) = self.saved
+        x_local = self.parents[0].data
+        weights = self.parents[1].data
+        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        grad_weights = np.zeros(weights_shape, dtype=np.float32)
+
+        for r_index, relation in enumerate(relation_names):
+            w_r = weights[r_index].reshape(in_features, out_features)
+            blocks = shard.relation_blocks[relation]
+            degrees = np.maximum(shard.relation_in_degrees[relation], 1).astype(grad_out.dtype)
+            grad_scaled = grad_out / degrees[:, None]
+            outgoing: Dict[int, np.ndarray] = {}
+            for q in _block_order(shard.rank, shard.num_parts):
+                block = blocks[q]
+                if block.num_edges == 0:
+                    continue
+                # ---- rematerialize the block's input features ------------ #
+                if q == shard.rank:
+                    x_q = x_local[block.required_src_local]
+                elif config.is_domain_parallel:
+                    x_q = saved_halos[relation][q].data
+                else:
+                    # SAR case 2: re-fetch remote features to evaluate dW_r.
+                    x_q = comm.fetch(q, f"{key}/x", rows=block.required_src_local,
+                                     tag="backward_refetch")
+                grad_z = block.aggregation_matrix(transpose=True) @ grad_scaled
+                grad_weights[r_index] += (x_q.T @ grad_z).reshape(-1)
+                grad_x_q = grad_z @ w_r.T
+                if q == shard.rank:
+                    np.add.at(grad_x, block.required_src_local, grad_x_q)
+                else:
+                    outgoing[q] = grad_x_q.astype(np.float32)
+            received = comm.exchange(f"{key}/{relation}/err", outgoing, tag="backward_error")
+            halos[relation].scatter_add_errors(grad_x, received)
+        return grad_x, grad_weights
+
+
+def distributed_rgcn_aggregate(x: Tensor, relation_weights: Tensor,
+                               shard: ShardedHeteroGraph, comm: Communicator,
+                               halos: Dict[str, HaloExchange], config: SARConfig, key: str,
+                               relation_names: Sequence[str], in_features: int,
+                               out_features: int) -> Tensor:
+    """Functional wrapper used by :class:`repro.core.dist_graph.DistributedHeteroGraph`."""
+    return DistributedRelationalAggregation.apply(
+        x, relation_weights, shard, comm, halos, config, key, relation_names,
+        in_features, out_features,
+    )

@@ -1,0 +1,115 @@
+"""Distributed sum/mean neighbour aggregation — SAR "case 1" (paper §3.2).
+
+For GraphSage-style aggregation the gradient of the aggregator output with
+respect to its inputs does not depend on the input values (the aggregation is
+linear), so SAR needs **no** re-fetch of remote features during the backward
+pass: the error for remote features is computed locally and sent straight to
+its owner.  Consequently SAR and vanilla domain-parallel training communicate
+exactly the same volume for these layers — the only difference is that
+vanilla DP keeps every fetched halo block alive in the computational graph
+until the backward pass, while SAR discards each block right after it has
+been folded into the accumulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SARConfig
+from repro.core.halo import HaloExchange
+from repro.distributed.comm import Communicator
+from repro.partition.shard import ShardedGraph
+from repro.tensor.tensor import Function, Tensor
+
+
+def _block_order(rank: int, world_size: int) -> List[int]:
+    """Process the local block first, then remote partitions round-robin.
+
+    Starting each worker's remote sweep at ``rank + 1`` spreads simultaneous
+    fetches across different owners instead of hammering partition 0 first —
+    the same scheduling the SAR library uses.
+    """
+    return [rank] + [(rank + offset) % world_size for offset in range(1, world_size)]
+
+
+def _halo_retention(config: SARConfig) -> Optional[int]:
+    """How many fetched remote blocks stay resident simultaneously.
+
+    ``None`` means unbounded (vanilla DP keeps them all for the backward
+    pass); SAR keeps one, or two when prefetching is modeled.
+    """
+    if config.is_domain_parallel:
+        return None
+    return 2 if config.prefetch else 1
+
+
+class DistributedSumAggregation(Function):
+    """``out[i] = Σ_{j ∈ N(i)} z_j`` (optionally divided by the global in-degree)."""
+
+    def forward(self, z: Tensor, shard: ShardedGraph, comm: Communicator,
+                halo: HaloExchange, config: SARConfig, key: str, op: str) -> np.ndarray:
+        if op not in ("sum", "mean"):
+            raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
+        data = z.data
+        if data.ndim != 2:
+            raise ValueError(f"Distributed sum aggregation expects 2-D features, got {data.shape}")
+        num_local = shard.num_local_nodes
+        comm.publish(f"{key}/z", data)
+
+        acc = np.zeros((num_local, data.shape[1]), dtype=data.dtype)
+        retention = _halo_retention(config)
+        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
+        saved_halos: List[Optional[Tensor]] = [None] * shard.num_parts
+
+        for q in _block_order(shard.rank, shard.num_parts):
+            block = shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            if q == shard.rank:
+                feats = data[block.required_src_local]
+            else:
+                fetched = Tensor(
+                    comm.fetch(q, f"{key}/z", rows=block.required_src_local, tag="forward_halo")
+                )
+                resident.append(fetched)
+                if config.is_domain_parallel:
+                    saved_halos[q] = fetched
+                feats = fetched.data
+            acc += block.aggregation_matrix() @ feats
+
+        degrees = np.maximum(shard.local_in_degrees, 1).astype(data.dtype)
+        if op == "mean":
+            acc /= degrees[:, None]
+        self.save_for_backward(shard, comm, halo, config, key, op, degrees,
+                               data.shape, saved_halos)
+        return acc
+
+    def backward(self, grad_out):
+        shard, comm, halo, config, key, op, degrees, z_shape, saved_halos = self.saved
+        grad = grad_out / degrees[:, None] if op == "mean" else grad_out
+        grad_z = np.zeros(z_shape, dtype=grad_out.dtype)
+        outgoing: Dict[int, np.ndarray] = {}
+        for q in _block_order(shard.rank, shard.num_parts):
+            block = shard.blocks[q]
+            if block.num_edges == 0:
+                continue
+            # Case 1: the error for the block's source rows is A_{p,q}^T · grad —
+            # no remote values are needed, so nothing is re-fetched.
+            error = block.aggregation_matrix(transpose=True) @ grad
+            if q == shard.rank:
+                np.add.at(grad_z, block.required_src_local, error)
+            else:
+                outgoing[q] = error.astype(np.float32)
+        received = comm.exchange(f"{key}/err", outgoing, tag="backward_error")
+        halo.scatter_add_errors(grad_z, received)
+        return (grad_z,)
+
+
+def distributed_neighbor_aggregate(z: Tensor, shard: ShardedGraph, comm: Communicator,
+                                   halo: HaloExchange, config: SARConfig, key: str,
+                                   op: str = "mean") -> Tensor:
+    """Functional wrapper used by :class:`repro.core.dist_graph.DistributedGraph`."""
+    return DistributedSumAggregation.apply(z, shard, comm, halo, config, key, op)

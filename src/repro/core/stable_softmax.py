@@ -1,0 +1,109 @@
+"""Numerically stable running softmax for incremental attention aggregation.
+
+SAR aggregates the attention-weighted neighbour sum one remote partition at a
+time, so the usual "subtract the max before exponentiating" trick cannot be
+applied directly — the maximum over *all* of a node's incoming edges is not
+known until the last partition has been processed.  Section 3.4 of the paper
+keeps a *running* maximum instead: whenever a new block raises the maximum,
+the already-accumulated numerator and denominator are rescaled by
+``exp(old_max − new_max)``.
+
+:class:`RunningSoftmaxAccumulator` implements exactly that scheme (the same
+idea as online/streaming softmax in FlashAttention-style kernels).  Setting
+``stable=False`` reproduces the naive accumulation the paper warns about: it
+overflows and destabilizes training as soon as attention logits are large.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import segment_max_np, segment_sum_np
+
+_TINY = np.float64(np.finfo(np.float32).tiny)
+
+
+class RunningSoftmaxAccumulator:
+    """Accumulates ``Σ_e softmax(e) · v_e`` over edge blocks arriving sequentially.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of destination nodes (rows of the accumulated output).
+    num_heads:
+        Number of attention heads.
+    feature_dim:
+        Dimensionality of the aggregated values per head.
+    dtype:
+        Floating dtype of the accumulators.
+    stable:
+        Use the running-max rescaling scheme (default).  ``False`` accumulates
+        raw exponentials, which is only safe for small logits.
+    """
+
+    def __init__(self, num_nodes: int, num_heads: int, feature_dim: int,
+                 dtype=np.float32, stable: bool = True):
+        self.num_nodes = num_nodes
+        self.num_heads = num_heads
+        self.feature_dim = feature_dim
+        self.stable = stable
+        self.dtype = dtype
+        self.running_max = np.full((num_nodes, num_heads), -np.inf, dtype=dtype)
+        self.numerator = np.zeros((num_nodes, num_heads, feature_dim), dtype=dtype)
+        self.denominator = np.zeros((num_nodes, num_heads), dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+    def add_block(self, logits: np.ndarray, values: np.ndarray, dst: np.ndarray,
+                  aggregate_fn) -> None:
+        """Fold one edge block into the accumulators.
+
+        Parameters
+        ----------
+        logits:
+            Per-edge attention logits of shape ``(E_block, H)``.
+        values:
+            Per-source-node values of shape ``(S_block, H, D)``.
+        dst:
+            Per-edge destination index (into the ``num_nodes`` rows).
+        aggregate_fn:
+            Callable ``(weights) -> (num_nodes, H, D)`` computing the
+            weighted sum of ``values`` into destination rows; the caller
+            provides it because the sparse structure (and its cached CSR) is
+            block-specific.
+        """
+        if logits.shape[1] != self.num_heads:
+            raise ValueError(
+                f"logits has {logits.shape[1]} heads, accumulator expects {self.num_heads}"
+            )
+        if self.stable:
+            block_max = segment_max_np(logits, dst, self.num_nodes)
+            new_max = np.maximum(self.running_max, block_max)
+            # Nodes that still have no incoming edges keep -inf; exp(-inf - -inf)
+            # would be NaN, so rescaling is guarded.
+            safe_new_max = np.where(np.isfinite(new_max), new_max, 0.0)
+            rescale = np.where(
+                np.isfinite(self.running_max),
+                np.exp(self.running_max - safe_new_max),
+                0.0,
+            ).astype(self.dtype)
+            self.numerator *= rescale[:, :, None]
+            self.denominator *= rescale
+            self.running_max = new_max
+            weights = np.exp(logits - safe_new_max[dst])
+        else:
+            weights = np.exp(logits)
+        self.denominator += segment_sum_np(weights, dst, self.num_nodes)
+        self.numerator += aggregate_fn(weights)
+
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> np.ndarray:
+        """Return the normalized aggregation ``numerator / denominator``."""
+        denom = np.maximum(self.denominator, _TINY).astype(self.dtype)
+        return self.numerator / denom[:, :, None]
+
+    def state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(running_max, denominator)`` — what the backward pass needs
+        to rematerialize per-edge attention coefficients block by block."""
+        return self.running_max, np.maximum(self.denominator, _TINY).astype(self.dtype)

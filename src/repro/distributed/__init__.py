@@ -1,0 +1,38 @@
+"""Simulated distributed runtime: communicators, cluster, and cost model."""
+
+from repro.distributed.comm import Communicator, CommStats
+from repro.distributed.thread_backend import (
+    ThreadCommunicator,
+    SharedStore,
+    ClusterAborted,
+    create_thread_communicators,
+)
+from repro.distributed.cluster import SimulatedCluster, ClusterRunResult, run_distributed
+from repro.distributed.cost_model import (
+    ClusterSpec,
+    EpochCostReport,
+    WorkerCost,
+    epoch_cost,
+    scaling_table,
+    PAPER_LIKE_SPEC,
+    COMM_BOUND_SPEC,
+)
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "ThreadCommunicator",
+    "SharedStore",
+    "ClusterAborted",
+    "create_thread_communicators",
+    "SimulatedCluster",
+    "ClusterRunResult",
+    "run_distributed",
+    "ClusterSpec",
+    "EpochCostReport",
+    "WorkerCost",
+    "epoch_cost",
+    "scaling_table",
+    "PAPER_LIKE_SPEC",
+    "COMM_BOUND_SPEC",
+]

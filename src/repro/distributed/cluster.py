@@ -1,0 +1,180 @@
+"""Simulated cluster: launch N workers (threads), collect results and metrics.
+
+A "worker function" has the signature::
+
+    def worker_fn(rank: int, comm: Communicator, shard, **kwargs) -> Any
+
+:class:`SimulatedCluster` spawns one thread per worker, installs a
+per-worker :class:`~repro.tensor.memory.MemoryTracker` and a thread-CPU
+timer, runs the function, and gathers everything into a
+:class:`ClusterRunResult`.  Any worker exception aborts the shared store so
+the remaining workers unwind instead of deadlocking at a barrier.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.distributed.comm import CommStats, Communicator
+from repro.distributed.thread_backend import (
+    ClusterAborted,
+    SharedStore,
+    create_thread_communicators,
+)
+from repro.tensor.memory import MemoryTracker, track_memory
+from repro.utils.logging import get_logger
+from repro.utils.timing import WorkerTimer
+from repro.utils.validation import check_positive_int
+
+logger = get_logger("distributed.cluster")
+
+
+@dataclass
+class ClusterRunResult:
+    """Per-worker outputs and measurements of one cluster run."""
+
+    world_size: int
+    results: List[Any]
+    memory: List[MemoryTracker]
+    comm_stats: List[CommStats]
+    compute_times: List[float]
+
+    @property
+    def peak_memory_bytes(self) -> List[int]:
+        return [t.peak_bytes for t in self.memory]
+
+    @property
+    def peak_memory_mb(self) -> List[float]:
+        return [t.peak_mb for t in self.memory]
+
+    @property
+    def max_peak_memory_mb(self) -> float:
+        return max(self.peak_memory_mb) if self.memory else 0.0
+
+    @property
+    def max_compute_time(self) -> float:
+        return max(self.compute_times) if self.compute_times else 0.0
+
+    @property
+    def total_bytes_communicated(self) -> int:
+        return sum(s.bytes_sent for s in self.comm_stats)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary for logging / benchmark reports."""
+        return {
+            "world_size": self.world_size,
+            "max_peak_memory_mb": self.max_peak_memory_mb,
+            "max_compute_time_s": self.max_compute_time,
+            "total_comm_mb": self.total_bytes_communicated / 2 ** 20,
+        }
+
+
+@dataclass
+class _WorkerSlot:
+    rank: int
+    tracker: MemoryTracker
+    timer: WorkerTimer = field(default_factory=WorkerTimer)
+    result: Any = None
+    exception: Optional[BaseException] = None
+    traceback: str = ""
+
+
+class SimulatedCluster:
+    """Runs worker functions on ``world_size`` simulated machines."""
+
+    def __init__(self, world_size: int, timeout_s: float = 120.0):
+        self.world_size = check_positive_int(world_size, "world_size")
+        self.timeout_s = float(timeout_s)
+
+    def run(self, worker_fn: Callable[..., Any],
+            worker_args: Optional[Sequence[Any]] = None,
+            **common_kwargs: Any) -> ClusterRunResult:
+        """Run ``worker_fn`` on every rank and gather the results.
+
+        Parameters
+        ----------
+        worker_fn:
+            Called as ``worker_fn(rank, comm, worker_args[rank], **common_kwargs)``
+            (the positional shard argument is omitted when ``worker_args`` is
+            ``None``).
+        worker_args:
+            Optional per-rank positional argument (typically the worker's
+            graph shard).
+        common_kwargs:
+            Keyword arguments passed to every worker unchanged.
+        """
+        if worker_args is not None and len(worker_args) != self.world_size:
+            raise ValueError(
+                f"worker_args must have length {self.world_size}, got {len(worker_args)}"
+            )
+        comms, store = create_thread_communicators(self.world_size, timeout_s=self.timeout_s)
+        slots = [
+            _WorkerSlot(rank=r, tracker=MemoryTracker(label=f"worker-{r}"))
+            for r in range(self.world_size)
+        ]
+
+        def _runner(rank: int) -> None:
+            slot = slots[rank]
+            try:
+                with track_memory(slot.tracker):
+                    slot.timer.start()
+                    try:
+                        if worker_args is None:
+                            slot.result = worker_fn(rank, comms[rank], **common_kwargs)
+                        else:
+                            slot.result = worker_fn(
+                                rank, comms[rank], worker_args[rank], **common_kwargs
+                            )
+                    finally:
+                        slot.timer.stop()
+            except ClusterAborted as exc:
+                slot.exception = exc
+                slot.traceback = traceback.format_exc()
+            except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+                slot.exception = exc
+                slot.traceback = traceback.format_exc()
+                store.abort(f"worker {rank} failed: {exc!r}")
+
+        threads = [
+            threading.Thread(target=_runner, args=(rank,), name=f"repro-worker-{rank}")
+            for rank in range(self.world_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        self._raise_worker_failure(slots)
+        return ClusterRunResult(
+            world_size=self.world_size,
+            results=[slot.result for slot in slots],
+            memory=[slot.tracker for slot in slots],
+            comm_stats=[comm.stats for comm in comms],
+            compute_times=[slot.timer.elapsed for slot in slots],
+        )
+
+    @staticmethod
+    def _raise_worker_failure(slots: Sequence[_WorkerSlot]) -> None:
+        primary = next(
+            (s for s in slots if s.exception is not None and not isinstance(s.exception, ClusterAborted)),
+            None,
+        )
+        if primary is None:
+            primary = next((s for s in slots if s.exception is not None), None)
+        if primary is None:
+            return
+        logger.error("Worker %d failed:\n%s", primary.rank, primary.traceback)
+        raise RuntimeError(
+            f"Worker {primary.rank} failed: {primary.exception!r}\n{primary.traceback}"
+        ) from primary.exception
+
+
+def run_distributed(worker_fn: Callable[..., Any], world_size: int,
+                    worker_args: Optional[Sequence[Any]] = None,
+                    timeout_s: float = 120.0, **common_kwargs: Any) -> ClusterRunResult:
+    """One-shot helper: build a :class:`SimulatedCluster` and run ``worker_fn``."""
+    cluster = SimulatedCluster(world_size, timeout_s=timeout_s)
+    return cluster.run(worker_fn, worker_args=worker_args, **common_kwargs)

@@ -1,0 +1,162 @@
+"""Communicator interface and communication-volume accounting.
+
+The paper's system communicates through ``torch.distributed`` backed by
+Intel's oneCCL over InfiniBand.  The algorithms only need a small set of
+primitives, which this interface captures:
+
+* ``publish`` / ``fetch`` — a worker makes one of its tensors remotely
+  readable; peers fetch (a row subset of) it.  This models the halo exchange
+  of both vanilla domain-parallel training and SAR (Algorithm 1 line
+  "Fetch Z_{q→p}"), including SAR's *re*-fetch during the backward pass for
+  case-2 aggregators.
+* ``exchange`` — an all-to-all-v used in Algorithm 2 to send the error
+  tensors ``E_{p→q}`` to their owners and collect the errors for the local
+  partition.
+* ``allreduce`` / ``allgather`` / ``barrier`` — parameter-gradient
+  synchronization, distributed batch norm statistics, and global metrics.
+
+Every byte moved is recorded in :class:`CommStats`; the epoch-time cost model
+(:mod:`repro.distributed.cost_model`) converts volumes into modeled transfer
+times.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Per-worker communication counters (bytes and message counts).
+
+    Counters may be updated from another worker's thread (the fetching side
+    records the owner's send), so updates are lock-protected.
+    """
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    #: bytes broken down by a caller-supplied tag (e.g. "forward_halo",
+    #: "backward_refetch", "backward_error", "grad_sync")
+    bytes_by_tag: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_send(self, nbytes: int, tag: str = "other") -> None:
+        with self._lock:
+            self.bytes_sent += int(nbytes)
+            self.messages_sent += 1
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + int(nbytes)
+
+    def record_recv(self, nbytes: int, tag: str = "other") -> None:
+        with self._lock:
+            self.bytes_received += int(nbytes)
+            self.messages_received += 1
+            key = tag + "_recv"
+            self.bytes_by_tag[key] = self.bytes_by_tag.get(key, 0) + int(nbytes)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.messages_sent = 0
+            self.messages_received = 0
+            self.bytes_by_tag = {}
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def snapshot(self) -> Dict[str, int]:
+        out = {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+        }
+        out.update({f"tag:{k}": v for k, v in sorted(self.bytes_by_tag.items())})
+        return out
+
+
+class Communicator(abc.ABC):
+    """Abstract communication backend seen by SAR / domain-parallel code."""
+
+    def __init__(self, rank: int, world_size: int):
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+        self.rank = rank
+        self.world_size = world_size
+        self.stats = CommStats()
+
+    # -- point-to-point ------------------------------------------------- #
+    @abc.abstractmethod
+    def publish(self, key: str, array: np.ndarray) -> None:
+        """Make ``array`` readable by other workers under ``key``.
+
+        Publishing is free (the data already lives on this worker); only
+        fetches are accounted as communication.
+        """
+
+    @abc.abstractmethod
+    def fetch(self, owner_rank: int, key: str, rows: Optional[np.ndarray] = None,
+              tag: str = "halo") -> np.ndarray:
+        """Blocking read of (a row subset of) a remote published array.
+
+        Returns a fresh copy owned by the calling worker, so the fetched
+        halo counts towards the caller's memory while it stays alive.
+        """
+
+    @abc.abstractmethod
+    def unpublish(self, key: str) -> None:
+        """Remove one of this worker's published arrays."""
+
+    @abc.abstractmethod
+    def clear_published(self) -> None:
+        """Remove all of this worker's published arrays (end of iteration)."""
+
+    # -- collectives ----------------------------------------------------- #
+    @abc.abstractmethod
+    def exchange(self, key: str, outgoing: Dict[int, np.ndarray],
+                 tag: str = "exchange") -> Dict[int, np.ndarray]:
+        """All-to-all-v: send ``outgoing[q]`` to rank ``q``; receive from every rank.
+
+        Ranks absent from ``outgoing`` receive nothing from this worker; the
+        result only contains ranks that actually sent something.
+        """
+
+    @abc.abstractmethod
+    def allreduce(self, array: np.ndarray, op: str = "sum", tag: str = "allreduce") -> np.ndarray:
+        """Elementwise reduction across all workers (op: "sum", "max", "min", "mean")."""
+
+    @abc.abstractmethod
+    def allgather(self, array: np.ndarray, tag: str = "allgather") -> List[np.ndarray]:
+        """Gather one array from every worker (indexed by rank)."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Wait until every worker reaches this point."""
+
+    # -- helpers ---------------------------------------------------------- #
+    def allreduce_scalar(self, value: float, op: str = "sum") -> float:
+        """Convenience wrapper reducing a single Python float."""
+        out = self.allreduce(np.asarray([value], dtype=np.float64), op=op)
+        return float(out[0])
+
+
+def reduce_arrays(arrays: List[np.ndarray], op: str) -> np.ndarray:
+    """Reference reduction used by the backends."""
+    stacked = np.stack(arrays, axis=0)
+    if op == "sum":
+        return stacked.sum(axis=0)
+    if op == "mean":
+        return stacked.mean(axis=0)
+    if op == "max":
+        return stacked.max(axis=0)
+    if op == "min":
+        return stacked.min(axis=0)
+    raise ValueError(f"Unknown reduction op {op!r}")

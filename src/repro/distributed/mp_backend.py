@@ -1,0 +1,193 @@
+"""Multiprocessing backend (true multi-process workers on one host).
+
+The thread backend in :mod:`repro.distributed.thread_backend` is the default
+because it is fast to spin up and lets the benchmarks simulate up to 32
+workers cheaply.  This module provides a small, slower, but *genuinely*
+multi-process backend built on :mod:`multiprocessing` primitives, matching
+the paper's deployment model of one training process per machine ("repro
+band": multi-process on one big server).  It exists to demonstrate that the
+SAR algorithms only rely on the abstract :class:`Communicator` interface; the
+example/test keep the worker count and graph size small.
+
+Usage::
+
+    from repro.distributed.mp_backend import run_multiprocess
+    results = run_multiprocess(worker_fn, world_size=2)
+
+``worker_fn`` must be a module-level (picklable) function with the usual
+``(rank, comm, *args)`` signature.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import Communicator, reduce_arrays
+
+_POLL_S = 0.005
+_DEFAULT_TIMEOUT_S = 300.0
+
+
+class MultiprocessCommunicator(Communicator):
+    """Communicator backed by a ``multiprocessing.Manager`` dict and barrier."""
+
+    def __init__(self, rank: int, world_size: int, store, barrier,
+                 timeout_s: float = _DEFAULT_TIMEOUT_S):
+        super().__init__(rank, world_size)
+        self._store = store
+        self._barrier = barrier
+        self._timeout_s = timeout_s
+        self._collective_counter = 0
+
+    # -- point-to-point ------------------------------------------------- #
+    def publish(self, key: str, array: np.ndarray) -> None:
+        self._store[(self.rank, key)] = np.asarray(array)
+
+    def _wait_get(self, owner_rank: int, key: str) -> np.ndarray:
+        deadline = time.monotonic() + self._timeout_s
+        while True:
+            value = self._store.get((owner_rank, key))
+            if value is not None:
+                return value
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"rank {self.rank} timed out waiting for rank {owner_rank} key {key!r}"
+                )
+            time.sleep(_POLL_S)
+
+    def fetch(self, owner_rank: int, key: str, rows: Optional[np.ndarray] = None,
+              tag: str = "halo") -> np.ndarray:
+        array = self._wait_get(owner_rank, key)
+        out = array[np.asarray(rows)] if rows is not None else np.array(array, copy=True)
+        if owner_rank != self.rank:
+            self.stats.record_recv(out.nbytes, tag=tag)
+        return out
+
+    def unpublish(self, key: str) -> None:
+        self._store.pop((self.rank, key), None)
+
+    def clear_published(self) -> None:
+        for store_key in list(self._store.keys()):
+            if store_key[0] == self.rank:
+                self._store.pop(store_key, None)
+
+    # -- collectives ----------------------------------------------------- #
+    def barrier(self) -> None:
+        self._barrier.wait(timeout=self._timeout_s)
+
+    def exchange(self, key: str, outgoing: Dict[int, np.ndarray],
+                 tag: str = "exchange") -> Dict[int, np.ndarray]:
+        prefix = f"__xchg/{key}"
+        for dest, array in outgoing.items():
+            array = np.asarray(array)
+            self._store[(self.rank, f"{prefix}/to{dest}")] = array
+            if dest != self.rank:
+                self.stats.record_send(array.nbytes, tag=tag)
+        self.barrier()
+        received: Dict[int, np.ndarray] = {}
+        for sender in range(self.world_size):
+            value = self._store.get((sender, f"{prefix}/to{self.rank}"))
+            if value is None:
+                continue
+            received[sender] = np.array(value, copy=True)
+            if sender != self.rank:
+                self.stats.record_recv(received[sender].nbytes, tag=tag)
+        self.barrier()
+        for dest in outgoing:
+            self._store.pop((self.rank, f"{prefix}/to{dest}"), None)
+        return received
+
+    def allreduce(self, array: np.ndarray, op: str = "sum", tag: str = "allreduce") -> np.ndarray:
+        array = np.asarray(array)
+        self._collective_counter += 1
+        key = f"__coll/{self._collective_counter}"
+        self._store[(self.rank, key)] = array
+        contributions = [self._wait_get(r, key) for r in range(self.world_size)]
+        result = reduce_arrays(contributions, op).astype(array.dtype, copy=False)
+        ring_bytes = int(2 * array.nbytes * (self.world_size - 1) / max(self.world_size, 1))
+        self.stats.record_send(ring_bytes, tag=tag)
+        self.stats.record_recv(ring_bytes, tag=tag)
+        self.barrier()
+        self._store.pop((self.rank, key), None)
+        return result
+
+    def allgather(self, array: np.ndarray, tag: str = "allgather") -> List[np.ndarray]:
+        array = np.asarray(array)
+        self._collective_counter += 1
+        key = f"__coll/{self._collective_counter}"
+        self._store[(self.rank, key)] = array
+        gathered = [np.array(self._wait_get(r, key), copy=True)
+                    for r in range(self.world_size)]
+        self.barrier()
+        self._store.pop((self.rank, key), None)
+        return gathered
+
+
+def _mp_worker(rank: int, world_size: int, store, barrier, worker_fn, worker_arg,
+               common_kwargs, result_queue, timeout_s: float) -> None:
+    comm = MultiprocessCommunicator(rank, world_size, store, barrier, timeout_s=timeout_s)
+    try:
+        if worker_arg is _NO_ARG:
+            result = worker_fn(rank, comm, **common_kwargs)
+        else:
+            result = worker_fn(rank, comm, worker_arg, **common_kwargs)
+        result_queue.put((rank, "ok", result))
+    except Exception as exc:  # noqa: BLE001 - report to parent, do not hang peers
+        result_queue.put((rank, "error", repr(exc)))
+
+
+class _NoArg:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<no per-worker argument>"
+
+
+_NO_ARG = _NoArg()
+
+
+def run_multiprocess(worker_fn: Callable[..., Any], world_size: int,
+                     worker_args: Optional[Sequence[Any]] = None,
+                     timeout_s: float = _DEFAULT_TIMEOUT_S,
+                     **common_kwargs: Any) -> List[Any]:
+    """Run ``worker_fn`` on ``world_size`` separate processes and collect results.
+
+    The per-worker results are returned indexed by rank.  Any worker error is
+    re-raised in the parent with the failing rank identified.
+    """
+    if worker_args is not None and len(worker_args) != world_size:
+        raise ValueError(f"worker_args must have length {world_size}")
+    # Fork (the POSIX default) keeps worker functions picklable-by-reference and
+    # avoids re-importing the caller's module in the children.
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    with mp.Manager() as manager:
+        store = manager.dict()
+        barrier = manager.Barrier(world_size)
+        result_queue = manager.Queue()
+        processes = []
+        for rank in range(world_size):
+            arg = worker_args[rank] if worker_args is not None else _NO_ARG
+            process = ctx.Process(
+                target=_mp_worker,
+                args=(rank, world_size, store, barrier, worker_fn, arg, common_kwargs,
+                      result_queue, timeout_s),
+            )
+            process.start()
+            processes.append(process)
+        results: List[Any] = [None] * world_size
+        errors: List[str] = []
+        for _ in range(world_size):
+            rank, status, payload = result_queue.get(timeout=timeout_s)
+            if status == "ok":
+                results[rank] = payload
+            else:
+                errors.append(f"rank {rank}: {payload}")
+        for process in processes:
+            process.join(timeout=timeout_s)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        if errors:
+            raise RuntimeError("multiprocess workers failed: " + "; ".join(errors))
+    return results

@@ -1,0 +1,25 @@
+"""Graph substrate: data structures, generators, and MFG utilities."""
+
+from repro.graph.graph import Graph
+from repro.graph.hetero import HeteroGraph
+from repro.graph.generators import (
+    stochastic_block_model,
+    erdos_renyi,
+    barabasi_albert,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.mfg import message_flow_masks, required_node_counts, mfg_savings
+
+__all__ = [
+    "Graph",
+    "HeteroGraph",
+    "stochastic_block_model",
+    "erdos_renyi",
+    "barabasi_albert",
+    "ring_graph",
+    "star_graph",
+    "message_flow_masks",
+    "required_node_counts",
+    "mfg_savings",
+]

@@ -1,0 +1,61 @@
+"""Message-Flow-Graph (MFG) computation restriction (paper Appendix B).
+
+In node-classification tasks the loss only touches a (possibly small) set of
+labelled *seed* nodes.  Working backwards from the seeds, layer ``l`` of an
+``L``-layer GNN only has to produce output features for the nodes that are at
+most ``L - l`` hops away from a seed (following in-edges).  The paper uses
+DGL's MFGs to skip the remaining rows; here :func:`message_flow_masks`
+computes the same per-layer "required node" masks, and Figure 9 / the
+Appendix-B epoch-time numbers are reproduced from them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.validation import check_1d_int_array, check_positive_int
+
+
+def message_flow_masks(graph: Graph, seed_nodes, num_layers: int) -> List[np.ndarray]:
+    """Per-layer boolean masks of nodes whose features must be computed.
+
+    Returns a list of ``num_layers + 1`` masks: entry ``l`` marks the nodes
+    whose layer-``l`` activations are required (entry ``0`` is the input
+    layer, entry ``num_layers`` the output layer and equals the seed set).
+    """
+    num_layers = check_positive_int(num_layers, "num_layers")
+    seeds = check_1d_int_array(seed_nodes, "seed_nodes", max_value=graph.num_nodes)
+    masks: List[np.ndarray] = [None] * (num_layers + 1)  # type: ignore[list-item]
+    current = np.zeros(graph.num_nodes, dtype=bool)
+    current[seeds] = True
+    masks[num_layers] = current.copy()
+    # adjacency()[d, s] = 1 for edge s→d; to expand "needed outputs" into
+    # "needed inputs" we walk edges backwards: a destination needs all of its
+    # in-neighbours, i.e. needed_src = A^T applied to needed_dst.
+    adj_t = graph.adjacency(transpose=True)
+    for layer in range(num_layers - 1, -1, -1):
+        reached = (adj_t @ current.astype(np.float32)) > 0
+        current = current | reached
+        masks[layer] = current.copy()
+    return masks
+
+
+def required_node_counts(graph: Graph, seed_nodes, num_layers: int) -> List[int]:
+    """Number of nodes whose features must be computed at each layer."""
+    return [int(mask.sum()) for mask in message_flow_masks(graph, seed_nodes, num_layers)]
+
+
+def mfg_savings(graph: Graph, seed_nodes, num_layers: int) -> float:
+    """Fraction of node-feature computations avoided thanks to the MFG restriction.
+
+    ``0.0`` means no savings (every node needed at every layer), values close
+    to ``1.0`` mean almost all per-layer updates can be skipped.
+    """
+    counts = required_node_counts(graph, seed_nodes, num_layers)
+    # Layers 1..L perform aggregation; the input layer (index 0) is free.
+    needed = sum(counts[1:])
+    full = graph.num_nodes * num_layers
+    return 1.0 - needed / full if full else 0.0

@@ -1,0 +1,37 @@
+"""Neural-network layers and models (the DGL-layers substitute)."""
+
+from repro.nn.module import Module, Parameter, ModuleList, Sequential
+from repro.nn.linear import Linear
+from repro.nn.activation import ReLU, LeakyReLU, ELU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.norm import BatchNorm1d, DistributedBatchNorm
+from repro.nn.sage import SageConv
+from repro.nn.gat import GATConv, GATBase
+from repro.nn.gat_fused import FusedGATConv, FusedGATAggregation
+from repro.nn.rgcn import RelGraphConv
+from repro.nn.models import GraphSageNet, GATNet, RGCNNet
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm1d",
+    "DistributedBatchNorm",
+    "SageConv",
+    "GATConv",
+    "GATBase",
+    "FusedGATConv",
+    "FusedGATAggregation",
+    "RelGraphConv",
+    "GraphSageNet",
+    "GATNet",
+    "RGCNNet",
+]

@@ -1,0 +1,26 @@
+"""Dropout module."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_probability
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    The paper applies dropout between all GNN layers of both the GraphSage
+    and GAT networks.
+    """
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        self.p = check_probability(p, "dropout probability")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,118 @@
+"""Graph attention network (GAT) layer — standard two-step implementation.
+
+This mirrors DGL's ``GATConv`` dataflow (the baseline in the paper's
+Figure 2): per-edge attention logits and normalized attention coefficients
+are materialized as full ``(E, H)`` tensors and kept alive by the autograd
+graph until the backward pass.  The fused variant in
+:mod:`repro.nn.gat_fused` computes the same mathematics without ever storing
+those per-edge tensors.
+
+GAT layer (paper Eq. 3), evaluated per attention head:
+
+``e_{j→i} = LeakyReLU(a_l · z_i + a_r · z_j)``
+``α_{j→i} = softmax_j(e_{j→i})``
+``h_i = σ( Σ_j α_{j→i} · z_j )``
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor import init, ops
+from repro.tensor.sparse import edge_softmax, u_mul_e_sum
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_positive_int
+
+
+class GATBase(Module):
+    """Shared parameters and projection step of the standard and fused GAT layers."""
+
+    def __init__(self, in_features: int, out_features: int, num_heads: int = 1,
+                 negative_slope: float = 0.2,
+                 activation: Optional[Callable[[Tensor], Tensor]] = None,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        self.num_heads = check_positive_int(num_heads, "num_heads")
+        self.negative_slope = float(negative_slope)
+        self.activation = activation
+        self.fc = Linear(in_features, out_features * num_heads, bias=False, name="gat.fc")
+        self.attn_l = Parameter(
+            init.xavier_uniform((num_heads, out_features)), name="gat.attn_l"
+        )
+        self.attn_r = Parameter(
+            init.xavier_uniform((num_heads, out_features)), name="gat.attn_r"
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(init.zeros((num_heads * out_features,)), name="gat.bias")
+
+    def project(self, x: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Compute ``z`` (N, H, D) and the per-node attention scores (N, H).
+
+        ``a^T (z_i || z_j)`` decomposes into ``a_l · z_i + a_r · z_j``; the two
+        per-node dot products are computed once here and combined per edge in
+        the message-passing step.
+        """
+        num_nodes = x.shape[0]
+        z = self.fc(x).reshape(num_nodes, self.num_heads, self.out_features)
+        score_dst = (z * self.attn_l).sum(axis=-1)
+        score_src = (z * self.attn_r).sum(axis=-1)
+        return z, score_dst, score_src
+
+    def finalize(self, aggregated: Tensor) -> Tensor:
+        """Flatten heads, add bias, apply the output activation."""
+        num_nodes = aggregated.shape[0]
+        out = aggregated.reshape(num_nodes, self.num_heads * self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        if self.activation is not None:
+            out = self.activation(out)
+        return out
+
+
+class GATConv(GATBase):
+    """Standard ("DGL-style") GAT layer that materializes per-edge attention tensors."""
+
+    #: Set by :class:`~repro.nn.gat_fused.FusedGATConv`; distributed graph
+    #: handles use it to pick the fused or the materializing kernel.
+    uses_fused_kernel = False
+
+    def forward(self, graph, x: Tensor) -> Tensor:
+        """Apply the layer on a :class:`Graph` or a distributed graph handle."""
+        if x.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"Feature matrix has {x.shape[0]} rows but graph has {graph.num_nodes} nodes"
+            )
+        z, score_dst, score_src = self.project(x)
+        if isinstance(graph, Graph):
+            aggregated = self._aggregate_local(graph, z, score_dst, score_src)
+        else:
+            aggregated = graph.gat_aggregate(
+                z, score_dst, score_src,
+                negative_slope=self.negative_slope,
+                fused=self.uses_fused_kernel,
+            )
+        return self.finalize(aggregated)
+
+    def _aggregate_local(self, graph: Graph, z: Tensor, score_dst: Tensor,
+                         score_src: Tensor) -> Tensor:
+        src, dst = graph.src, graph.dst
+        # Per-edge attention logits (E, H): materialized and saved by autograd.
+        logits = F.leaky_relu(
+            ops.gather(score_dst, dst) + ops.gather(score_src, src), self.negative_slope
+        )
+        # Normalized attention coefficients (E, H): another materialized tensor.
+        alpha = edge_softmax(logits, dst, graph.num_nodes)
+        return u_mul_e_sum(z, alpha, src, dst, graph.num_nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"GATConv(in={self.in_features}, out={self.out_features}, "
+            f"heads={self.num_heads})"
+        )

@@ -1,0 +1,44 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_positive_int
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``.
+
+    The weight is stored with shape ``(in_features, out_features)`` so the
+    forward pass is a plain ``x @ W`` (matching the ``z = W h`` projection in
+    the paper's Eq. 1 applied to row-major feature matrices).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 name: Optional[str] = None):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        label = name or "linear"
+        self.weight = Parameter(
+            init.xavier_uniform((self.in_features, self.out_features)), name=f"{label}.weight"
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(init.zeros((self.out_features,)), name=f"{label}.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,130 @@
+"""End-to-end GNN models used in the paper's evaluation.
+
+All three networks follow the paper's experimental setup (Section 4.2 and
+Appendix A): three layers, batch normalization and dropout between layers,
+and a plain classification head.  The same model object runs on a
+single-machine :class:`~repro.graph.graph.Graph` / :class:`HeteroGraph` or on
+a distributed graph handle — only the graph argument changes, mirroring how
+the SAR library reuses unmodified DGL model code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.nn.dropout import Dropout
+from repro.nn.gat import GATConv
+from repro.nn.gat_fused import FusedGATConv
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import DistributedBatchNorm
+from repro.nn.rgcn import RelGraphConv
+from repro.nn.sage import SageConv
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_positive_int
+
+
+class _DeepGNN(Module):
+    """Shared skeleton: conv layers with (BatchNorm → activation → Dropout) in between."""
+
+    def __init__(self, convs: List[Module], norm_dims: List[int], dropout: float,
+                 use_batch_norm: bool, activation):
+        super().__init__()
+        self.convs = ModuleList(convs)
+        self.use_batch_norm = use_batch_norm
+        self.norms = ModuleList(
+            [DistributedBatchNorm(dim) for dim in norm_dims] if use_batch_norm else []
+        )
+        self.dropout = Dropout(dropout)
+        self._activation = activation
+
+    def set_comm(self, comm) -> None:
+        """Attach a communicator to every distributed BatchNorm layer."""
+        for norm in self.norms:
+            norm.set_comm(comm)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.convs)
+
+    def forward(self, graph, x: Tensor) -> Tensor:
+        for index, conv in enumerate(self.convs):
+            x = conv(graph, x)
+            if index < len(self.convs) - 1:
+                if self.use_batch_norm:
+                    x = self.norms[index](x)
+                x = self._activation(x)
+                x = self.dropout(x)
+        return x
+
+
+class GraphSageNet(_DeepGNN):
+    """Multi-layer GraphSage classifier (3 layers, hidden size 256 in the paper)."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 num_layers: int = 3, dropout: float = 0.5, use_batch_norm: bool = True,
+                 aggregator: str = "mean"):
+        num_layers = check_positive_int(num_layers, "num_layers")
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        convs = [
+            SageConv(dims[i], dims[i + 1], aggregator=aggregator)
+            for i in range(num_layers)
+        ]
+        super().__init__(convs, dims[1:num_layers], dropout, use_batch_norm, F.relu)
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.num_classes = num_classes
+
+
+class GATNet(_DeepGNN):
+    """Multi-layer GAT classifier (3 layers, 4 heads, hidden size 128 in the paper).
+
+    ``fused=True`` builds the network from :class:`FusedGATConv` layers (the
+    paper's SAR+FAK configuration); the parameters and outputs are identical
+    to the standard layers, only the kernel implementation differs.
+    """
+
+    def __init__(self, in_features: int, hidden_per_head: int, num_classes: int,
+                 num_layers: int = 3, num_heads: int = 4, dropout: float = 0.5,
+                 use_batch_norm: bool = True, fused: bool = False,
+                 negative_slope: float = 0.2):
+        num_layers = check_positive_int(num_layers, "num_layers")
+        conv_cls = FusedGATConv if fused else GATConv
+        convs: List[Module] = []
+        norm_dims: List[int] = []
+        width = hidden_per_head * num_heads
+        for index in range(num_layers):
+            layer_in = in_features if index == 0 else width
+            if index == num_layers - 1:
+                convs.append(conv_cls(layer_in, num_classes, num_heads=1,
+                                      negative_slope=negative_slope))
+            else:
+                convs.append(conv_cls(layer_in, hidden_per_head, num_heads=num_heads,
+                                      negative_slope=negative_slope))
+                norm_dims.append(width)
+        super().__init__(convs, norm_dims, dropout, use_batch_norm, F.elu)
+        self.in_features = in_features
+        self.hidden_per_head = hidden_per_head
+        self.num_heads = num_heads
+        self.num_classes = num_classes
+        self.fused = fused
+
+
+class RGCNNet(_DeepGNN):
+    """Multi-layer R-GCN classifier for heterogeneous graphs (Appendix A)."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 relation_names: Sequence[str], num_layers: int = 3,
+                 num_bases: Optional[int] = 2, dropout: float = 0.5,
+                 use_batch_norm: bool = True):
+        num_layers = check_positive_int(num_layers, "num_layers")
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        convs = [
+            RelGraphConv(dims[i], dims[i + 1], relation_names, num_bases=num_bases)
+            for i in range(num_layers)
+        ]
+        super().__init__(convs, dims[1:num_layers], dropout, use_batch_norm, F.relu)
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.num_classes = num_classes
+        self.relation_names = list(relation_names)

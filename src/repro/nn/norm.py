@@ -1,0 +1,148 @@
+"""Batch normalization, including SAR's distributed variant (paper §3.4).
+
+In distributed full-batch training the node-feature matrix ``H`` is split
+row-wise across workers.  :class:`DistributedBatchNorm` computes the *global*
+mean and variance by all-reducing per-worker summary statistics (count, sum,
+sum of squares), and its custom backward pass all-reduces the two reduction
+terms of the batch-norm gradient so that the result is numerically identical
+to single-machine batch norm over the full feature matrix — while only ever
+communicating ``O(F)`` numbers per worker.
+
+:class:`BatchNorm1d` is the single-machine special case (``comm=None``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.nn.module import Module, Parameter
+from repro.tensor import init
+from repro.tensor.tensor import Function, Tensor, grad_enabled
+from repro.utils.validation import check_positive_int
+
+
+class _BatchNormFunction(Function):
+    """Fused (optionally distributed) batch-norm forward/backward."""
+
+    def forward(self, x: Tensor, gamma: Tensor, beta: Tensor,
+                comm: Optional[Communicator], eps: float) -> np.ndarray:
+        data = x.data
+        if data.ndim != 2:
+            raise ValueError(f"BatchNorm expects 2-D input, got shape {data.shape}")
+        num_features = data.shape[1]
+        local_count = np.float64(data.shape[0])
+        local_sum = data.sum(axis=0, dtype=np.float64)
+        local_sumsq = (data.astype(np.float64) ** 2).sum(axis=0)
+        stats = np.concatenate([[local_count], local_sum, local_sumsq])
+        if comm is not None:
+            stats = comm.allreduce(stats, op="sum", tag="batchnorm")
+        total_count = max(stats[0], 1.0)
+        mean = (stats[1:1 + num_features] / total_count).astype(data.dtype)
+        var = (stats[1 + num_features:] / total_count - mean.astype(np.float64) ** 2)
+        var = np.maximum(var, 0.0).astype(data.dtype)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (data - mean) * inv_std
+        out = gamma.data * x_hat + beta.data
+        self.save_for_backward(x_hat, gamma.data, inv_std, total_count, comm)
+        # Stash statistics for the module to update its running buffers.
+        self.batch_mean = mean
+        self.batch_var = var
+        return out
+
+    def backward(self, grad_out):
+        x_hat, gamma, inv_std, total_count, comm = self.saved
+        dgamma = (grad_out * x_hat).sum(axis=0)
+        dbeta = grad_out.sum(axis=0)
+        dx_hat = grad_out * gamma
+        # Global reduction terms of the batch-norm gradient.
+        local_terms = np.concatenate([
+            dx_hat.sum(axis=0, dtype=np.float64),
+            (dx_hat * x_hat).sum(axis=0, dtype=np.float64),
+        ])
+        if comm is not None:
+            local_terms = comm.allreduce(local_terms, op="sum", tag="batchnorm_grad")
+        num_features = x_hat.shape[1]
+        mean_dx_hat = (local_terms[:num_features] / total_count).astype(x_hat.dtype)
+        mean_dx_hat_x = (local_terms[num_features:] / total_count).astype(x_hat.dtype)
+        dx = inv_std * (dx_hat - mean_dx_hat - x_hat * mean_dx_hat_x)
+        return dx.astype(x_hat.dtype), dgamma.astype(gamma.dtype), dbeta.astype(gamma.dtype)
+
+
+class DistributedBatchNorm(Module):
+    """Batch normalization over a row-partitioned feature matrix.
+
+    Parameters
+    ----------
+    num_features:
+        Feature dimension.
+    comm:
+        Communicator used to all-reduce summary statistics.  ``None`` makes
+        the layer behave exactly like single-machine batch norm.  The
+        communicator can also be (re)assigned later via :meth:`set_comm`,
+        which is how the distributed model replicas attach their per-worker
+        communicators.
+    eps, momentum:
+        Usual batch-norm hyperparameters; running statistics use
+        ``running = (1 - momentum) * running + momentum * batch``.
+    """
+
+    def __init__(self, num_features: int, comm: Optional[Communicator] = None,
+                 eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = check_positive_int(num_features, "num_features")
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.comm = comm
+        self.gamma = Parameter(init.ones((self.num_features,)), name="batchnorm.gamma")
+        self.beta = Parameter(init.zeros((self.num_features,)), name="batchnorm.beta")
+        self.register_buffer("running_mean", init.zeros((self.num_features,)))
+        self.register_buffer("running_var", init.ones((self.num_features,)))
+
+    def set_comm(self, comm: Optional[Communicator]) -> None:
+        """Attach / replace the communicator (used by distributed model builders)."""
+        self.comm = comm
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"Expected {self.num_features} features, got input of shape {x.shape}"
+            )
+        if self.training:
+            fn = _BatchNormFunction()
+            fn.needs_grad = grad_enabled() and (x.requires_grad or self.gamma.requires_grad)
+            out_data = fn.forward(x, self.gamma, self.beta, self.comm, self.eps)
+            out = Tensor(out_data, requires_grad=fn.needs_grad)
+            if fn.needs_grad:
+                fn.parents = (x, self.gamma, self.beta)
+                out._ctx = fn
+            self.set_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * fn.batch_mean,
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * fn.batch_var,
+            )
+            return out
+        # Evaluation: use running statistics (identical on every worker).
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = Tensor((self.gamma.data * inv_std).astype(x.dtype))
+        shift = Tensor((self.beta.data - self.gamma.data * self.running_mean * inv_std).astype(x.dtype))
+        return x * scale + shift
+
+    def __repr__(self) -> str:
+        mode = "distributed" if self.comm is not None else "local"
+        return f"DistributedBatchNorm(num_features={self.num_features}, mode={mode})"
+
+
+class BatchNorm1d(DistributedBatchNorm):
+    """Single-machine batch normalization (``DistributedBatchNorm`` without a communicator)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__(num_features, comm=None, eps=eps, momentum=momentum)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d(num_features={self.num_features})"

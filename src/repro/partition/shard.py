@@ -1,0 +1,250 @@
+"""Per-worker graph shards and the block subgraphs ``G_{p,q}``.
+
+Following Section 3.2 of the paper, worker ``p`` owns the vertices ``V_p`` of
+its partition and, for every partition ``q`` (including its own), a block
+subgraph ``G_{p,q}`` containing all edges from partition ``q`` into partition
+``p``.  During aggregation, worker ``p`` iterates over the blocks: for the
+local block the source features are already resident, for remote blocks the
+(deduplicated) required source rows are fetched from worker ``q``.
+
+:class:`EdgeBlock` stores a remote block in the compact form the
+communicator needs: the *local-to-q* ids of the required source nodes plus
+per-edge indices into that compact list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+from repro.graph.hetero import HeteroGraph
+from repro.partition.book import PartitionBook
+
+
+@dataclass
+class EdgeBlock:
+    """Edges from partition ``src_rank`` into partition ``dst_rank`` (``G_{p,q}``)."""
+
+    src_rank: int
+    dst_rank: int
+    num_dst: int
+    #: local ids (on worker ``src_rank``) of the unique source nodes this block needs
+    required_src_local: np.ndarray
+    #: per-edge index into :attr:`required_src_local`
+    src_index: np.ndarray
+    #: per-edge destination id, local to worker ``dst_rank``
+    dst_local: np.ndarray
+    _csr_cache: Dict[bool, sp.csr_matrix] = field(default_factory=dict, repr=False)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src_index)
+
+    @property
+    def num_required_src(self) -> int:
+        return len(self.required_src_local)
+
+    def aggregation_matrix(self, transpose: bool = False) -> sp.csr_matrix:
+        """Unweighted (num_dst × num_required_src) sum-aggregation matrix."""
+        if transpose not in self._csr_cache:
+            data = np.ones(self.num_edges, dtype=np.float32)
+            mat = sp.csr_matrix(
+                (data, (self.dst_local, self.src_index)),
+                shape=(self.num_dst, self.num_required_src),
+            )
+            self._csr_cache[False] = mat
+            self._csr_cache[True] = mat.T.tocsr()
+        return self._csr_cache[transpose]
+
+    def weighted_matrix(self, weights: np.ndarray, transpose: bool = False) -> sp.csr_matrix:
+        """Edge-weighted aggregation matrix (rebuilt per call; not cached)."""
+        weights = np.asarray(weights, dtype=np.float32)
+        if weights.shape != (self.num_edges,):
+            raise ValueError(
+                f"weights must have shape ({self.num_edges},), got {weights.shape}"
+            )
+        if transpose:
+            return sp.csr_matrix(
+                (weights, (self.src_index, self.dst_local)),
+                shape=(self.num_required_src, self.num_dst),
+            )
+        return sp.csr_matrix(
+            (weights, (self.dst_local, self.src_index)),
+            shape=(self.num_dst, self.num_required_src),
+        )
+
+
+class ShardedGraph:
+    """Worker ``rank``'s view of a partitioned homogeneous graph."""
+
+    def __init__(self, rank: int, book: PartitionBook, blocks: List[EdgeBlock],
+                 local_in_degrees: np.ndarray,
+                 node_data: Optional[Dict[str, np.ndarray]] = None):
+        self.rank = rank
+        self.num_parts = book.num_parts
+        self.book = book
+        self.global_node_ids = book.nodes_of(rank)
+        self.num_local_nodes = len(self.global_node_ids)
+        self.num_total_nodes = book.num_nodes
+        self.blocks = blocks
+        self.local_in_degrees = np.asarray(local_in_degrees, dtype=np.int64)
+        self.node_data: Dict[str, np.ndarray] = dict(node_data or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedGraph(rank={self.rank}/{self.num_parts}, "
+            f"local_nodes={self.num_local_nodes}, halo={self.halo_size})"
+        )
+
+    @property
+    def local_block(self) -> EdgeBlock:
+        """The block of edges whose source and destination are both local."""
+        return self.blocks[self.rank]
+
+    def remote_blocks(self) -> List[EdgeBlock]:
+        """Blocks whose sources live on other workers, in rank order."""
+        return [b for q, b in enumerate(self.blocks) if q != self.rank]
+
+    @property
+    def halo_size(self) -> int:
+        """Total number of unique remote source rows this worker must fetch."""
+        return sum(b.num_required_src for q, b in enumerate(self.blocks) if q != self.rank)
+
+    @property
+    def num_local_edges(self) -> int:
+        """Total number of edges whose destination is local."""
+        return sum(b.num_edges for b in self.blocks)
+
+
+class ShardedHeteroGraph:
+    """Worker ``rank``'s view of a partitioned heterogeneous graph."""
+
+    def __init__(self, rank: int, book: PartitionBook,
+                 relation_blocks: Dict[str, List[EdgeBlock]],
+                 relation_in_degrees: Dict[str, np.ndarray],
+                 node_data: Optional[Dict[str, np.ndarray]] = None):
+        self.rank = rank
+        self.num_parts = book.num_parts
+        self.book = book
+        self.global_node_ids = book.nodes_of(rank)
+        self.num_local_nodes = len(self.global_node_ids)
+        self.num_total_nodes = book.num_nodes
+        self.relation_blocks = relation_blocks
+        self.relation_in_degrees = {k: np.asarray(v, dtype=np.int64)
+                                    for k, v in relation_in_degrees.items()}
+        self.node_data: Dict[str, np.ndarray] = dict(node_data or {})
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self.relation_blocks.keys())
+
+    @property
+    def halo_size(self) -> int:
+        return sum(
+            b.num_required_src
+            for blocks in self.relation_blocks.values()
+            for q, b in enumerate(blocks) if q != self.rank
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedHeteroGraph(rank={self.rank}/{self.num_parts}, "
+            f"local_nodes={self.num_local_nodes}, relations={self.relation_names})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# shard construction
+# --------------------------------------------------------------------------- #
+def _build_blocks(src: np.ndarray, dst: np.ndarray, book: PartitionBook) -> List[List[EdgeBlock]]:
+    """Build the full N×N grid of edge blocks for one edge set.
+
+    Returns ``blocks[p][q]`` = edges from partition ``q`` into partition ``p``.
+    """
+    num_parts = book.num_parts
+    dst_part, dst_local = book.to_local(dst)
+    src_part, src_local = book.to_local(src)
+    sizes = book.partition_sizes()
+
+    # Sort edges by (destination partition, source partition) once.
+    key = dst_part * num_parts + src_part
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    src_local_sorted = src_local[order]
+    dst_local_sorted = dst_local[order]
+
+    blocks: List[List[EdgeBlock]] = [[None] * num_parts for _ in range(num_parts)]  # type: ignore
+    for p in range(num_parts):
+        for q in range(num_parts):
+            lo = np.searchsorted(key_sorted, p * num_parts + q, side="left")
+            hi = np.searchsorted(key_sorted, p * num_parts + q, side="right")
+            block_src = src_local_sorted[lo:hi]
+            block_dst = dst_local_sorted[lo:hi]
+            required, src_index = np.unique(block_src, return_inverse=True)
+            blocks[p][q] = EdgeBlock(
+                src_rank=q,
+                dst_rank=p,
+                num_dst=int(sizes[p]),
+                required_src_local=required.astype(np.int64),
+                src_index=src_index.astype(np.int64),
+                dst_local=block_dst.astype(np.int64),
+            )
+    return blocks
+
+
+def create_shards(graph: Graph, book: PartitionBook) -> List[ShardedGraph]:
+    """Split ``graph`` into one :class:`ShardedGraph` per partition."""
+    if book.num_nodes != graph.num_nodes:
+        raise ValueError(
+            f"PartitionBook covers {book.num_nodes} nodes but graph has {graph.num_nodes}"
+        )
+    blocks = _build_blocks(graph.src, graph.dst, book)
+    in_degrees = graph.in_degrees()
+    shards = []
+    for p in range(book.num_parts):
+        nodes = book.nodes_of(p)
+        node_data = {k: v[nodes] for k, v in graph.ndata.items()}
+        shards.append(
+            ShardedGraph(
+                rank=p,
+                book=book,
+                blocks=blocks[p],
+                local_in_degrees=in_degrees[nodes],
+                node_data=node_data,
+            )
+        )
+    return shards
+
+
+def create_hetero_shards(hgraph: HeteroGraph, book: PartitionBook) -> List[ShardedHeteroGraph]:
+    """Split a heterogeneous graph into per-worker shards (one block grid per relation)."""
+    if book.num_nodes != hgraph.num_nodes:
+        raise ValueError(
+            f"PartitionBook covers {book.num_nodes} nodes but graph has {hgraph.num_nodes}"
+        )
+    per_relation_blocks: Dict[str, List[List[EdgeBlock]]] = {}
+    per_relation_degrees: Dict[str, np.ndarray] = {}
+    for name, (src, dst) in hgraph.relations.items():
+        per_relation_blocks[name] = _build_blocks(src, dst, book)
+        per_relation_degrees[name] = np.bincount(dst, minlength=hgraph.num_nodes)
+
+    shards = []
+    for p in range(book.num_parts):
+        nodes = book.nodes_of(p)
+        node_data = {k: v[nodes] for k, v in hgraph.ndata.items()}
+        shards.append(
+            ShardedHeteroGraph(
+                rank=p,
+                book=book,
+                relation_blocks={name: per_relation_blocks[name][p]
+                                 for name in hgraph.relation_names},
+                relation_in_degrees={name: per_relation_degrees[name][nodes]
+                                     for name in hgraph.relation_names},
+                node_data=node_data,
+            )
+        )
+    return shards

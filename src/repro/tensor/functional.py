@@ -1,0 +1,241 @@
+"""Neural-network functional operations (activations, losses, dropout).
+
+These complement the primitive ops in :mod:`repro.tensor.ops` with the fused
+operations GNN layers need: numerically stable softmax / log-softmax /
+cross-entropy, dropout with an explicit training flag, and the activation
+functions used by GraphSage, GAT and R-GCN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Function, Tensor
+from repro.utils.seed import get_rng
+from repro.utils.validation import check_probability
+
+
+# --------------------------------------------------------------------------- #
+# activations
+# --------------------------------------------------------------------------- #
+class ReLU(Function):
+    def forward(self, a: Tensor) -> np.ndarray:
+        mask = a.data > 0
+        self.save_for_backward(mask)
+        return a.data * mask
+
+    def backward(self, grad_out):
+        (mask,) = self.saved
+        return (grad_out * mask,)
+
+
+class LeakyReLU(Function):
+    def forward(self, a: Tensor, negative_slope: float = 0.2) -> np.ndarray:
+        mask = a.data > 0
+        self.save_for_backward(mask, negative_slope)
+        return np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(self, grad_out):
+        mask, slope = self.saved
+        return (np.where(mask, grad_out, slope * grad_out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a: Tensor) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-a.data))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out * out * (1.0 - out),)
+
+
+class Tanh(Function):
+    def forward(self, a: Tensor) -> np.ndarray:
+        out = np.tanh(a.data)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out * (1.0 - out * out),)
+
+
+class ELU(Function):
+    def forward(self, a: Tensor, alpha: float = 1.0) -> np.ndarray:
+        mask = a.data > 0
+        neg = alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0)
+        out = np.where(mask, a.data, neg)
+        self.save_for_backward(mask, neg, alpha)
+        return out
+
+    def backward(self, grad_out):
+        mask, neg, alpha = self.saved
+        return (np.where(mask, grad_out, grad_out * (neg + alpha)),)
+
+
+def relu(a: Tensor) -> Tensor:
+    return ReLU.apply(a)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return LeakyReLU.apply(a, negative_slope)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    return Sigmoid.apply(a)
+
+
+def tanh(a: Tensor) -> Tensor:
+    return Tanh.apply(a)
+
+
+def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
+    return ELU.apply(a, alpha)
+
+
+# --------------------------------------------------------------------------- #
+# softmax family
+# --------------------------------------------------------------------------- #
+class Softmax(Function):
+    def forward(self, a: Tensor, axis: int = -1) -> np.ndarray:
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+        self.save_for_backward(out, axis)
+        return out
+
+    def backward(self, grad_out):
+        out, axis = self.saved
+        dot = (grad_out * out).sum(axis=axis, keepdims=True)
+        return (out * (grad_out - dot),)
+
+
+class LogSoftmax(Function):
+    def forward(self, a: Tensor, axis: int = -1) -> np.ndarray:
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - logsumexp
+        self.save_for_backward(out, axis)
+        return out
+
+    def backward(self, grad_out):
+        out, axis = self.saved
+        softmax = np.exp(out)
+        return (grad_out - softmax * grad_out.sum(axis=axis, keepdims=True),)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return Softmax.apply(a, axis)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return LogSoftmax.apply(a, axis)
+
+
+# --------------------------------------------------------------------------- #
+# dropout
+# --------------------------------------------------------------------------- #
+class Dropout(Function):
+    def forward(self, a: Tensor, p: float, training: bool) -> np.ndarray:
+        p = check_probability(p, "dropout probability")
+        if not training or p == 0.0:
+            self.save_for_backward(None)
+            return a.data
+        keep = 1.0 - p
+        mask = (get_rng().random(a.shape) < keep).astype(a.data.dtype) / keep
+        self.save_for_backward(mask)
+        return a.data * mask
+
+    def backward(self, grad_out):
+        (mask,) = self.saved
+        if mask is None:
+            return (grad_out,)
+        return (grad_out * mask,)
+
+
+def dropout(a: Tensor, p: float = 0.5, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept units by ``1 / (1 - p)`` during training."""
+    return Dropout.apply(a, p, training)
+
+
+# --------------------------------------------------------------------------- #
+# losses
+# --------------------------------------------------------------------------- #
+class CrossEntropy(Function):
+    """Softmax cross-entropy over integer class labels.
+
+    ``reduction`` may be ``"mean"``, ``"sum"`` or ``"none"``.  The SAR
+    distributed trainer uses ``reduction="sum"`` locally and divides by the
+    *global* number of labelled nodes after the parameter-gradient allreduce,
+    so the distributed loss matches single-machine training exactly.
+    """
+
+    def forward(self, logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> np.ndarray:
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"labels must be 1-D with length {logits.shape[0]}, got shape {labels.shape}"
+            )
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"Unknown reduction {reduction!r}")
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - logsumexp
+        n = logits.shape[0]
+        losses = -log_probs[np.arange(n), labels]
+        self.save_for_backward(log_probs, labels, reduction)
+        if reduction == "mean":
+            return np.asarray(losses.mean(), dtype=logits.dtype)
+        if reduction == "sum":
+            return np.asarray(losses.sum(), dtype=logits.dtype)
+        return losses.astype(logits.dtype)
+
+    def backward(self, grad_out):
+        log_probs, labels, reduction = self.saved
+        n = log_probs.shape[0]
+        grad = np.exp(log_probs)
+        grad[np.arange(n), labels] -= 1.0
+        if reduction == "mean":
+            grad *= np.asarray(grad_out) / n
+        elif reduction == "sum":
+            grad *= np.asarray(grad_out)
+        else:
+            grad *= np.asarray(grad_out)[:, None]
+        return (grad,)
+
+
+def cross_entropy(logits: Tensor, labels, reduction: str = "mean") -> Tensor:
+    return CrossEntropy.apply(logits, np.asarray(labels), reduction)
+
+
+def nll_loss(log_probs: Tensor, labels, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over precomputed log-probabilities.
+
+    Implemented with a one-hot mask so it reuses the primitive ops; prefer
+    :func:`cross_entropy` (a fused op) in performance-sensitive paths.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.shape[0]
+    onehot = np.zeros(log_probs.shape, dtype=log_probs.dtype)
+    onehot[np.arange(n), labels] = 1.0
+    per_node = -(log_probs * Tensor(onehot)).sum(axis=1)
+    if reduction == "mean":
+        return per_node.mean()
+    if reduction == "sum":
+        return per_node.sum()
+    return per_node
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches ``labels`` (not differentiable)."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels)
+    if data.shape[0] == 0:
+        return float("nan")
+    return float((data.argmax(axis=1) == labels).mean())

@@ -1,0 +1,184 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains for 100 epochs with Adam and a decaying learning rate; the
+trainer in :mod:`repro.training.trainer` combines :class:`Adam` with
+:class:`StepDecay` or :class:`CosineDecay`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer holding a flat list of parameters."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("Optimizer received an empty parameter list")
+        for p in self.params:
+            if not isinstance(p, Tensor) or not p.requires_grad:
+                raise TypeError("Optimizer parameters must be Tensors with requires_grad=True")
+        if lr <= 0:
+            raise ValueError(f"Learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.initial_lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                update = vel
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: Sequence[float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+
+
+# --------------------------------------------------------------------------- #
+# learning-rate schedules
+# --------------------------------------------------------------------------- #
+class LRScheduler:
+    """Base class: call :meth:`step` once per epoch *after* ``optimizer.step``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.initial_lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepDecay(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 30, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class ExponentialDecay(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.98):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** epoch)
+
+
+class CosineDecay(LRScheduler):
+    """Cosine annealing from the base learning rate to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,218 @@
+"""Differentiable sparse / segment operations used for message passing.
+
+These are the library's equivalents of DGL's SpMM / SDDMM / edge-softmax
+kernels.  Graph structure (edge endpoints, sparse adjacency) is always
+treated as non-differentiable; gradients only flow through dense feature and
+edge-weight tensors.
+
+Plain NumPy helpers (suffixed ``_np``) are exposed as well because SAR's
+sequential aggregation (Algorithm 1) runs the same math *outside* the
+autograd graph and rematerializes it manually in the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Function, Tensor
+from repro.utils.validation import check_1d_int_array
+
+# --------------------------------------------------------------------------- #
+# non-differentiable NumPy helpers
+# --------------------------------------------------------------------------- #
+
+
+def build_csr(src: np.ndarray, dst: np.ndarray, num_dst: int, num_src: int,
+              weights: Optional[np.ndarray] = None) -> sp.csr_matrix:
+    """Build the (num_dst × num_src) aggregation matrix ``A[d, s] = w_e``.
+
+    Multiplying ``A @ X`` aggregates source-node features into destination
+    nodes (sum aggregation).  Parallel edges accumulate.
+    """
+    if weights is None:
+        weights = np.ones(len(src), dtype=np.float32)
+    mat = sp.csr_matrix(
+        (weights.astype(np.float32, copy=False), (dst, src)),
+        shape=(num_dst, num_src),
+    )
+    return mat
+
+
+def segment_sum_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``."""
+    values = np.asarray(values)
+    flat = values.reshape(len(values), -1) if values.ndim > 1 else values[:, None]
+    mat = sp.csr_matrix(
+        (np.ones(len(segment_ids), dtype=flat.dtype),
+         (segment_ids, np.arange(len(segment_ids)))),
+        shape=(num_segments, len(segment_ids)),
+    )
+    out = mat @ flat
+    return out.reshape((num_segments,) + values.shape[1:])
+
+
+def segment_mean_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Mean-reduce ``values`` per segment (empty segments yield zeros)."""
+    sums = segment_sum_np(values, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(sums.dtype)
+    counts = np.maximum(counts, 1.0)
+    return sums / counts.reshape((num_segments,) + (1,) * (values.ndim - 1))
+
+
+def segment_max_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                   initial: float = -np.inf) -> np.ndarray:
+    """Max-reduce ``values`` per segment (empty segments yield ``initial``)."""
+    values = np.asarray(values)
+    out = np.full((num_segments,) + values.shape[1:], initial, dtype=values.dtype)
+    np.maximum.at(out, segment_ids, values)
+    return out
+
+
+def segment_count_np(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of entries per segment."""
+    return np.bincount(segment_ids, minlength=num_segments).astype(np.int64)
+
+
+def edge_softmax_np(scores: np.ndarray, dst: np.ndarray, num_dst: int) -> np.ndarray:
+    """Numerically-stable softmax of per-edge scores grouped by destination."""
+    maxes = segment_max_np(scores, dst, num_dst, initial=-np.inf)
+    maxes = np.where(np.isfinite(maxes), maxes, 0.0)
+    shifted = scores - maxes[dst]
+    exp = np.exp(shifted)
+    denom = segment_sum_np(exp, dst, num_dst)
+    denom = np.maximum(denom, np.finfo(exp.dtype).tiny)
+    return exp / denom[dst]
+
+
+# --------------------------------------------------------------------------- #
+# differentiable ops
+# --------------------------------------------------------------------------- #
+class SpMM(Function):
+    """``adj @ x`` with a fixed sparse adjacency (gradient only w.r.t. ``x``)."""
+
+    def forward(self, x: Tensor, adj: sp.spmatrix, adj_t: Optional[sp.spmatrix] = None) -> np.ndarray:
+        if adj.shape[1] != x.shape[0]:
+            raise ValueError(
+                f"adjacency has {adj.shape[1]} columns but x has {x.shape[0]} rows"
+            )
+        x2d = x.data.reshape(x.shape[0], -1)
+        out = adj @ x2d
+        self.save_for_backward(adj_t if adj_t is not None else adj.T.tocsr(), x.shape)
+        return np.asarray(out).reshape((adj.shape[0],) + x.shape[1:])
+
+    def backward(self, grad_out):
+        adj_t, x_shape = self.saved
+        g2d = grad_out.reshape(grad_out.shape[0], -1)
+        grad_x = adj_t @ g2d
+        return (np.asarray(grad_x).reshape(x_shape),)
+
+
+class SegmentSum(Function):
+    """Differentiable :func:`segment_sum_np`."""
+
+    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+        segment_ids = check_1d_int_array(segment_ids, "segment_ids", max_value=None)
+        self.save_for_backward(segment_ids)
+        return segment_sum_np(values.data, segment_ids, num_segments)
+
+    def backward(self, grad_out):
+        (segment_ids,) = self.saved
+        return (grad_out[segment_ids],)
+
+
+class SegmentMean(Function):
+    """Differentiable per-segment mean (empty segments produce zeros)."""
+
+    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+        segment_ids = check_1d_int_array(segment_ids, "segment_ids", max_value=None)
+        counts = np.maximum(
+            np.bincount(segment_ids, minlength=num_segments), 1
+        ).astype(values.data.dtype)
+        self.save_for_backward(segment_ids, counts, values.data.ndim)
+        return segment_sum_np(values.data, segment_ids, num_segments) / counts.reshape(
+            (num_segments,) + (1,) * (values.data.ndim - 1)
+        )
+
+    def backward(self, grad_out):
+        segment_ids, counts, ndim = self.saved
+        scaled = grad_out / counts.reshape((len(counts),) + (1,) * (ndim - 1))
+        return (scaled[segment_ids],)
+
+
+class UMulESum(Function):
+    """Weighted aggregation: ``out[d] = Σ_{e:(s→d)} w_e * x[s]``.
+
+    ``x`` has shape ``(num_src, H, D)`` (or ``(num_src, D)``) and ``w`` has
+    shape ``(E, H)`` (or ``(E,)``); gradients flow to both.  This is the core
+    kernel of attention-based aggregation.
+    """
+
+    def forward(self, x: Tensor, w: Tensor, src: np.ndarray, dst: np.ndarray,
+                num_dst: int) -> np.ndarray:
+        x_data, w_data = x.data, w.data
+        squeeze = False
+        if x_data.ndim == 2:
+            x_data = x_data[:, None, :]
+            squeeze = True
+        if w_data.ndim == 1:
+            w_data = w_data[:, None]
+        num_src, heads, dim = x_data.shape
+        out = np.empty((num_dst, heads, dim), dtype=x_data.dtype)
+        for h in range(heads):
+            adj = sp.csr_matrix((w_data[:, h], (dst, src)), shape=(num_dst, num_src))
+            out[:, h, :] = adj @ x_data[:, h, :]
+        self.save_for_backward(x_data, w_data, src, dst, num_dst, squeeze,
+                               x.shape, w.shape)
+        return out[:, 0, :] if squeeze else out
+
+    def backward(self, grad_out):
+        x_data, w_data, src, dst, num_dst, squeeze, x_shape, w_shape = self.saved
+        grad = grad_out[:, None, :] if squeeze else grad_out
+        num_src, heads, dim = x_data.shape
+        grad_x = np.empty_like(x_data)
+        for h in range(heads):
+            adj_t = sp.csr_matrix((w_data[:, h], (src, dst)), shape=(num_src, num_dst))
+            grad_x[:, h, :] = adj_t @ grad[:, h, :]
+        # grad_w[e, h] = <x[src_e, h], grad_out[dst_e, h]>  (an SDDMM)
+        grad_w = np.einsum("ehd,ehd->eh", x_data[src], grad[dst])
+        return grad_x.reshape(x_shape), grad_w.reshape(w_shape).astype(w_data.dtype)
+
+
+class EdgeSoftmax(Function):
+    """Softmax over incoming edges of each destination node (DGL ``edge_softmax``)."""
+
+    def forward(self, scores: Tensor, dst: np.ndarray, num_dst: int) -> np.ndarray:
+        alpha = edge_softmax_np(scores.data, dst, num_dst)
+        self.save_for_backward(alpha, dst, num_dst)
+        return alpha
+
+    def backward(self, grad_out):
+        alpha, dst, num_dst = self.saved
+        weighted = segment_sum_np(alpha * grad_out, dst, num_dst)
+        return (alpha * (grad_out - weighted[dst]),)
+
+
+# --------------------------------------------------------------------------- #
+# functional wrappers
+# --------------------------------------------------------------------------- #
+def spmm(x: Tensor, adj: sp.spmatrix, adj_t: Optional[sp.spmatrix] = None) -> Tensor:
+    return SpMM.apply(x, adj, adj_t)
+
+
+def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    return SegmentSum.apply(values, np.asarray(segment_ids), num_segments)
+
+
+def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    return SegmentMean.apply(values, np.asarray(segment_ids), num_segments)
+
+
+def u_mul_e_sum(x: Tensor, w: Tensor, src, dst, num_dst: int) -> Tensor:
+    return UMulESum.apply(x, w, np.asarray(src), np.asarray(dst), num_dst)
+
+
+def edge_softmax(scores: Tensor, dst, num_dst: int) -> Tensor:
+    return EdgeSoftmax.apply(scores, np.asarray(dst), num_dst)

@@ -1,0 +1,38 @@
+"""Training utilities: trainers, label augmentation, Correct & Smooth, metrics."""
+
+from repro.training.trainer import (
+    TrainingConfig,
+    TrainingResult,
+    EpochRecord,
+    FullBatchTrainer,
+    DistributedTrainer,
+    DistributedTrainingResult,
+    distributed_train_worker,
+)
+from repro.training.label_augmentation import LabelAugmenter, NoLabelAugmenter
+from repro.training.correct_and_smooth import CorrectAndSmooth
+from repro.training.metrics import (
+    masked_accuracy,
+    masked_correct_counts,
+    distributed_masked_accuracy,
+    distributed_mean_loss,
+    evaluation_report,
+)
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingResult",
+    "EpochRecord",
+    "FullBatchTrainer",
+    "DistributedTrainer",
+    "DistributedTrainingResult",
+    "distributed_train_worker",
+    "LabelAugmenter",
+    "NoLabelAugmenter",
+    "CorrectAndSmooth",
+    "masked_accuracy",
+    "masked_correct_counts",
+    "distributed_masked_accuracy",
+    "distributed_mean_loss",
+    "evaluation_report",
+]

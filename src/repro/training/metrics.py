@@ -1,0 +1,74 @@
+"""Accuracy / loss metrics for single-machine and distributed evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.tensor.tensor import Tensor
+
+
+def _as_array(logits) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def masked_accuracy(logits, labels: np.ndarray, mask: np.ndarray) -> float:
+    """Accuracy of ``argmax(logits)`` restricted to ``mask`` (NaN if mask empty)."""
+    data = _as_array(logits)
+    labels = np.asarray(labels)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.sum() == 0:
+        return float("nan")
+    predictions = data[mask].argmax(axis=1)
+    return float((predictions == labels[mask]).mean())
+
+
+def masked_correct_counts(logits, labels: np.ndarray, mask: np.ndarray) -> tuple[int, int]:
+    """Return ``(correct, total)`` over the masked rows."""
+    data = _as_array(logits)
+    labels = np.asarray(labels)
+    mask = np.asarray(mask, dtype=bool)
+    total = int(mask.sum())
+    if total == 0:
+        return 0, 0
+    correct = int((data[mask].argmax(axis=1) == labels[mask]).sum())
+    return correct, total
+
+
+def distributed_masked_accuracy(logits, labels: np.ndarray, mask: np.ndarray,
+                                comm: Communicator) -> float:
+    """Global accuracy over a row-partitioned prediction matrix.
+
+    Each worker passes its local rows; correct/total counts are all-reduced so
+    every worker returns the identical global accuracy.
+    """
+    correct, total = masked_correct_counts(logits, labels, mask)
+    reduced = comm.allreduce(np.asarray([correct, total], dtype=np.float64),
+                             op="sum", tag="metrics")
+    if reduced[1] == 0:
+        return float("nan")
+    return float(reduced[0] / reduced[1])
+
+
+def distributed_mean_loss(local_loss_sum: float, local_count: int,
+                          comm: Communicator) -> float:
+    """Global mean loss from per-worker summed losses and counts."""
+    reduced = comm.allreduce(np.asarray([local_loss_sum, float(local_count)], dtype=np.float64),
+                             op="sum", tag="metrics")
+    if reduced[1] == 0:
+        return float("nan")
+    return float(reduced[0] / reduced[1])
+
+
+def evaluation_report(logits, labels: np.ndarray, masks: Dict[str, np.ndarray],
+                      comm: Optional[Communicator] = None) -> Dict[str, float]:
+    """Accuracy for every named mask (``{"train": …, "val": …, "test": …}``)."""
+    report = {}
+    for name, mask in masks.items():
+        if comm is None:
+            report[name] = masked_accuracy(logits, labels, mask)
+        else:
+            report[name] = distributed_masked_accuracy(logits, labels, mask, comm)
+    return report

@@ -1,0 +1,409 @@
+"""Full-batch trainers: single-machine reference and distributed (SAR / DP).
+
+The distributed trainer follows the recipe of the paper's Section 4.2:
+
+* the graph is partitioned with the METIS-substitute partitioner and every
+  worker receives its shard (features, labels, masks, edge blocks);
+* each worker holds a full replica of the model, runs a full-batch forward /
+  backward pass over its partition every epoch through a
+  :class:`~repro.core.dist_graph.DistributedGraph` handle, and synchronizes
+  parameter gradients with one allreduce at the end of the iteration;
+* optional label augmentation (masked label prediction) and a final
+  Correct & Smooth post-processing stage, both of which the paper uses for
+  its Table-1 accuracies;
+* training for ``num_epochs`` with a decaying learning rate.
+
+The single-machine :class:`FullBatchTrainer` exists both as the correctness
+reference (distributed training must produce the same numbers) and as the
+baseline used in the single-host fused-attention benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SARConfig, SAR
+from repro.core.dist_graph import DistributedGraph, DistributedHeteroGraph
+from repro.core.grad_sync import broadcast_parameters, sync_gradients
+from repro.datasets.synthetic import (
+    HeteroNodeClassificationDataset,
+    NodeClassificationDataset,
+)
+from repro.distributed.cluster import ClusterRunResult, SimulatedCluster
+from repro.distributed.comm import Communicator
+from repro.graph.hetero import HeteroGraph
+from repro.nn.module import Module
+from repro.partition.book import PartitionBook
+from repro.partition.partitioner import partition_graph
+from repro.partition.shard import create_hetero_shards, create_shards
+from repro.tensor import functional as F
+from repro.tensor import no_grad
+from repro.tensor.optim import Adam, CosineDecay, LRScheduler, StepDecay
+from repro.tensor.tensor import Tensor
+from repro.training.correct_and_smooth import CorrectAndSmooth
+from repro.training.label_augmentation import LabelAugmenter, NoLabelAugmenter
+from repro.training.metrics import (
+    distributed_mean_loss,
+    evaluation_report,
+    masked_accuracy,
+)
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer, WorkerTimer
+
+logger = get_logger("training")
+
+ModelFactory = Callable[[int], Module]
+
+
+# --------------------------------------------------------------------------- #
+# configuration / results
+# --------------------------------------------------------------------------- #
+@dataclass
+class TrainingConfig:
+    """Hyperparameters shared by the single-machine and distributed trainers."""
+
+    num_epochs: int = 100
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    lr_schedule: str = "cosine"  # "cosine" | "step" | "none"
+    lr_step_size: int = 30
+    lr_gamma: float = 0.5
+    label_augmentation: bool = False
+    label_augment_fraction: float = 0.5
+    correct_and_smooth: bool = False
+    cs_params: CorrectAndSmooth = field(default_factory=CorrectAndSmooth)
+    eval_every: int = 0  # 0 = evaluate only after the final epoch
+    seed: int = 0
+    verbose: bool = False
+
+    def build_scheduler(self, optimizer) -> Optional[LRScheduler]:
+        if self.lr_schedule == "cosine":
+            return CosineDecay(optimizer, total_epochs=self.num_epochs)
+        if self.lr_schedule == "step":
+            return StepDecay(optimizer, step_size=self.lr_step_size, gamma=self.lr_gamma)
+        if self.lr_schedule == "none":
+            return None
+        raise ValueError(f"Unknown lr_schedule {self.lr_schedule!r}")
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch measurements (identical on every worker in distributed runs)."""
+
+    epoch: int
+    loss: float
+    lr: float
+    train_time_s: float
+    train_accuracy: float = float("nan")
+    val_accuracy: float = float("nan")
+    test_accuracy: float = float("nan")
+
+
+@dataclass
+class TrainingResult:
+    """Training curve plus final / best accuracies."""
+
+    records: List[EpochRecord]
+    final_accuracies: Dict[str, float]
+    cs_accuracies: Optional[Dict[str, float]] = None
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.final_accuracies.get("test", float("nan"))
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.final_accuracies.get("val", float("nan"))
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_epoch_time_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.train_time_s for r in self.records]))
+
+    def accuracy_curve(self) -> List[tuple[int, float]]:
+        """(epoch, test accuracy) pairs for epochs where evaluation ran."""
+        return [(r.epoch, r.test_accuracy) for r in self.records
+                if not np.isnan(r.test_accuracy)]
+
+    def losses(self) -> List[float]:
+        return [r.loss for r in self.records]
+
+
+@dataclass
+class DistributedTrainingResult:
+    """Result of a distributed run: the training curve plus cluster measurements."""
+
+    training: TrainingResult
+    cluster: ClusterRunResult
+    world_size: int
+    sar_config: SARConfig
+
+
+# --------------------------------------------------------------------------- #
+# shared epoch helpers
+# --------------------------------------------------------------------------- #
+def _make_augmenter(config: TrainingConfig, num_classes: int):
+    if config.label_augmentation:
+        return LabelAugmenter(num_classes, augment_fraction=config.label_augment_fraction)
+    return NoLabelAugmenter(num_classes)
+
+
+def _local_loss(logits: Tensor, labels: np.ndarray, predict_mask: np.ndarray) -> Tensor:
+    """Summed cross-entropy over the masked rows.
+
+    When a worker's partition contains no loss nodes this epoch, a zero loss
+    that still depends on the logits is returned so the backward pass (and
+    therefore the collective gradient exchange) runs on every worker.
+    """
+    predict_mask = np.asarray(predict_mask, dtype=bool)
+    if predict_mask.any():
+        return F.cross_entropy(logits[predict_mask], labels[predict_mask], reduction="sum")
+    return logits.sum() * 0.0
+
+
+# --------------------------------------------------------------------------- #
+# single-machine trainer
+# --------------------------------------------------------------------------- #
+class FullBatchTrainer:
+    """Full-batch training of a model on a single (non-partitioned) graph."""
+
+    def __init__(self, model: Module, dataset: NodeClassificationDataset,
+                 config: Optional[TrainingConfig] = None,
+                 graph: Optional[Any] = None):
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        if graph is not None:
+            self.graph = graph
+        elif isinstance(dataset, HeteroNodeClassificationDataset) and dataset.hetero_graph is not None:
+            self.graph = dataset.hetero_graph
+        else:
+            self.graph = dataset.graph
+        self.augmenter = _make_augmenter(self.config, dataset.num_classes)
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr,
+                              weight_decay=self.config.weight_decay)
+        self.scheduler = self.config.build_scheduler(self.optimizer)
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def train(self) -> TrainingResult:
+        config, dataset = self.config, self.dataset
+        records: List[EpochRecord] = []
+        for epoch in range(1, config.num_epochs + 1):
+            timer = Timer().start()
+            self.model.train()
+            features, predict_mask = self.augmenter.training_batch(
+                dataset.features, dataset.labels, dataset.train_mask, self._rng
+            )
+            logits = self.model(self.graph, Tensor(features))
+            loss = _local_loss(logits, dataset.labels, predict_mask)
+            count = max(int(np.asarray(predict_mask).sum()), 1)
+            self.model.zero_grad()
+            loss.backward()
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad /= count
+            self.optimizer.step()
+            lr = self.scheduler.step() if self.scheduler else self.optimizer.lr
+            elapsed = timer.stop()
+
+            record = EpochRecord(epoch=epoch, loss=float(loss.data) / count, lr=lr,
+                                 train_time_s=elapsed)
+            if config.eval_every and (epoch % config.eval_every == 0 or epoch == config.num_epochs):
+                accs, _ = self.evaluate()
+                record.train_accuracy = accs["train"]
+                record.val_accuracy = accs["val"]
+                record.test_accuracy = accs["test"]
+                if config.verbose:
+                    logger.info("epoch %d loss %.4f val %.4f test %.4f",
+                                epoch, record.loss, record.val_accuracy, record.test_accuracy)
+            records.append(record)
+
+        final_accs, logits = self.evaluate()
+        cs_accs = None
+        if config.correct_and_smooth:
+            refined = config.cs_params(dataset.graph, logits, dataset.labels, dataset.train_mask)
+            cs_accs = {
+                name: masked_accuracy(refined, dataset.labels, mask)
+                for name, mask in (("train", dataset.train_mask), ("val", dataset.val_mask),
+                                   ("test", dataset.test_mask))
+            }
+        return TrainingResult(records=records, final_accuracies=final_accs,
+                              cs_accuracies=cs_accs)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self) -> tuple[Dict[str, float], np.ndarray]:
+        """Accuracies on train/val/test plus the raw logits."""
+        dataset = self.dataset
+        self.model.eval()
+        with no_grad():
+            features = self.augmenter.inference_batch(
+                dataset.features, dataset.labels, dataset.train_mask
+            )
+            logits = self.model(self.graph, Tensor(features))
+        masks = {"train": dataset.train_mask, "val": dataset.val_mask,
+                 "test": dataset.test_mask}
+        report = evaluation_report(logits, dataset.labels, masks)
+        self.model.train()
+        return report, logits.data
+
+
+# --------------------------------------------------------------------------- #
+# distributed trainer
+# --------------------------------------------------------------------------- #
+def _build_distributed_graph(shard, comm: Communicator, sar_config: SARConfig):
+    if hasattr(shard, "relation_blocks"):
+        return DistributedHeteroGraph(shard, comm, sar_config)
+    return DistributedGraph(shard, comm, sar_config)
+
+
+def _distributed_evaluate(dist_graph, model: Module, augmenter, features: np.ndarray,
+                          labels: np.ndarray, masks: Dict[str, np.ndarray],
+                          comm: Communicator) -> tuple[Dict[str, float], np.ndarray]:
+    model.eval()
+    dist_graph.begin_step()
+    with no_grad():
+        augmented = augmenter.inference_batch(features, labels, masks["train"])
+        logits = model(dist_graph, Tensor(augmented))
+    report = evaluation_report(logits, labels, masks, comm)
+    model.train()
+    return report, logits.data
+
+
+def distributed_train_worker(rank: int, comm: Communicator, shard, *,
+                             model_factory: ModelFactory, feature_dim: int,
+                             num_classes: int, config: TrainingConfig,
+                             sar_config: SARConfig) -> Dict[str, Any]:
+    """Per-worker training loop (executed by the simulated cluster)."""
+    dist_graph = _build_distributed_graph(shard, comm, sar_config)
+    augmenter = _make_augmenter(config, num_classes)
+    model = model_factory(augmenter.augmented_dim(feature_dim))
+    if hasattr(model, "set_comm"):
+        model.set_comm(comm)
+    broadcast_parameters(model.parameters(), comm)
+    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    scheduler = config.build_scheduler(optimizer)
+
+    features = shard.node_data["feat"]
+    labels = shard.node_data["label"]
+    masks = {
+        "train": shard.node_data["train_mask"],
+        "val": shard.node_data["val_mask"],
+        "test": shard.node_data["test_mask"],
+    }
+    rng = np.random.default_rng(config.seed * 100_003 + rank)
+    records: List[EpochRecord] = []
+
+    for epoch in range(1, config.num_epochs + 1):
+        timer = WorkerTimer().start()
+        dist_graph.begin_step()
+        model.train()
+        augmented, predict_mask = augmenter.training_batch(
+            features, labels, masks["train"], rng
+        )
+        logits = model(dist_graph, Tensor(augmented))
+        loss = _local_loss(logits, labels, predict_mask)
+        local_count = int(np.asarray(predict_mask).sum())
+        model.zero_grad()
+        loss.backward()
+        global_count = comm.allreduce_scalar(float(local_count))
+        sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
+        optimizer.step()
+        lr = scheduler.step() if scheduler else optimizer.lr
+        elapsed = timer.stop()
+
+        mean_loss = distributed_mean_loss(float(loss.data), local_count, comm)
+        record = EpochRecord(epoch=epoch, loss=mean_loss, lr=lr, train_time_s=elapsed)
+        if config.eval_every and (epoch % config.eval_every == 0 or epoch == config.num_epochs):
+            accs, _ = _distributed_evaluate(dist_graph, model, augmenter, features,
+                                            labels, masks, comm)
+            record.train_accuracy = accs["train"]
+            record.val_accuracy = accs["val"]
+            record.test_accuracy = accs["test"]
+            if config.verbose and rank == 0:
+                logger.info("epoch %d loss %.4f val %.4f test %.4f",
+                            epoch, mean_loss, accs["val"], accs["test"])
+        records.append(record)
+
+    final_accs, logits = _distributed_evaluate(dist_graph, model, augmenter, features,
+                                               labels, masks, comm)
+    cs_accs: Optional[Dict[str, float]] = None
+    if config.correct_and_smooth:
+        refined = config.cs_params(dist_graph, logits, labels, masks["train"])
+        cs_accs = evaluation_report(refined, labels, masks, comm)
+    return {
+        "records": records,
+        "final_accuracies": final_accs,
+        "cs_accuracies": cs_accs,
+        "local_logits": logits,
+        "global_node_ids": dist_graph.global_node_ids,
+    }
+
+
+class DistributedTrainer:
+    """Partition a dataset, launch a simulated cluster, train a model with SAR/DP."""
+
+    def __init__(self, dataset: NodeClassificationDataset, model_factory: ModelFactory,
+                 num_workers: int, sar_config: SARConfig = SAR,
+                 config: Optional[TrainingConfig] = None,
+                 partition_method: str = "metis", partition_seed: int = 0,
+                 timeout_s: float = 600.0):
+        self.dataset = dataset
+        self.model_factory = model_factory
+        self.num_workers = num_workers
+        self.sar_config = sar_config
+        self.config = config or TrainingConfig()
+        self.partition_method = partition_method
+        self.partition_seed = partition_seed
+        self.timeout_s = timeout_s
+        dataset.attach_to_graph()
+        self.book, self.shards = self._prepare_shards()
+
+    # ------------------------------------------------------------------ #
+    def _prepare_shards(self):
+        dataset = self.dataset
+        assignment = partition_graph(dataset.graph, self.num_workers,
+                                     method=self.partition_method, seed=self.partition_seed)
+        book = PartitionBook(assignment, self.num_workers)
+        if isinstance(dataset, HeteroNodeClassificationDataset) and dataset.hetero_graph is not None:
+            shards = create_hetero_shards(dataset.hetero_graph, book)
+        else:
+            shards = create_shards(dataset.graph, book)
+        return book, shards
+
+    def run(self) -> DistributedTrainingResult:
+        cluster = SimulatedCluster(self.num_workers, timeout_s=self.timeout_s)
+        result = cluster.run(
+            distributed_train_worker,
+            worker_args=self.shards,
+            model_factory=self.model_factory,
+            feature_dim=self.dataset.feature_dim,
+            num_classes=self.dataset.num_classes,
+            config=self.config,
+            sar_config=self.sar_config,
+        )
+        rank0 = result.results[0]
+        training = TrainingResult(
+            records=rank0["records"],
+            final_accuracies=rank0["final_accuracies"],
+            cs_accuracies=rank0["cs_accuracies"],
+        )
+        return DistributedTrainingResult(
+            training=training,
+            cluster=result,
+            world_size=self.num_workers,
+            sar_config=self.sar_config,
+        )
+
+    def assemble_global_predictions(self, result: DistributedTrainingResult) -> np.ndarray:
+        """Stitch per-worker logits back into global node order."""
+        per_partition = [r["local_logits"] for r in result.cluster.results]
+        return self.book.scatter_to_global(per_partition)

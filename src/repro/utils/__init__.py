@@ -1,0 +1,24 @@
+"""Shared utilities: seeding, logging, validation, and timing helpers."""
+
+from repro.utils.seed import set_seed, get_rng, temp_seed
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer, WorkerTimer
+from repro.utils.validation import (
+    check_1d_int_array,
+    check_2d_array,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "set_seed",
+    "get_rng",
+    "temp_seed",
+    "get_logger",
+    "Timer",
+    "WorkerTimer",
+    "check_1d_int_array",
+    "check_2d_array",
+    "check_positive_int",
+    "check_probability",
+]

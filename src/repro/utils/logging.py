@@ -1,0 +1,42 @@
+"""Light-weight logging helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so that importing ``repro`` is silent by default.  Examples
+and benchmarks call :func:`enable_console_logging` to get human-readable
+output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+logging.getLogger(_LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the library-wide ``repro`` logger."""
+    if name is None or name == _LIBRARY_LOGGER_NAME:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler with a compact format to the library logger."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            logger.setLevel(level)
+            return
+    handler = logging.StreamHandler(stream=sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)

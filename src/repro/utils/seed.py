@@ -1,0 +1,54 @@
+"""Global random-number-generator management.
+
+All stochastic components of the library (parameter initialization, dropout,
+synthetic dataset generation, label augmentation) draw from a single global
+:class:`numpy.random.Generator` so that an experiment is fully reproducible
+from one call to :func:`set_seed`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+import numpy as np
+
+_DEFAULT_SEED = 0
+_rng: np.random.Generator = np.random.default_rng(_DEFAULT_SEED)
+
+
+def set_seed(seed: int) -> None:
+    """Reset the library-wide random generator.
+
+    Parameters
+    ----------
+    seed:
+        Any integer accepted by :func:`numpy.random.default_rng`.
+    """
+    global _rng
+    _rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the library-wide random generator."""
+    return _rng
+
+
+@contextlib.contextmanager
+def temp_seed(seed: Optional[int]) -> Iterator[np.random.Generator]:
+    """Temporarily swap the global generator for a seeded one.
+
+    Useful inside dataset generators and tests that must not perturb the
+    global random stream.  If ``seed`` is ``None`` the global generator is
+    used unchanged.
+    """
+    global _rng
+    if seed is None:
+        yield _rng
+        return
+    saved = _rng
+    _rng = np.random.default_rng(seed)
+    try:
+        yield _rng
+    finally:
+        _rng = saved

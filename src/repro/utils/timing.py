@@ -1,0 +1,77 @@
+"""Timing helpers.
+
+Two clocks are used throughout the library:
+
+* :class:`Timer` measures wall-clock time (``time.perf_counter``).  Used for
+  end-to-end measurements in benchmarks that run a single worker.
+* :class:`WorkerTimer` measures per-thread CPU time (``time.thread_time``).
+  The simulated cluster runs every worker as a thread on a small host, so
+  wall-clock time of a single worker includes time spent blocked on the
+  publish/fetch store and time stolen by other worker threads.  Thread CPU
+  time excludes both, which is what the epoch-time cost model needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer."""
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class WorkerTimer:
+    """Accumulating per-thread CPU timer (excludes blocking waits)."""
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "WorkerTimer":
+        self._start = time.thread_time()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("WorkerTimer.stop() called before start()")
+        delta = time.thread_time() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "WorkerTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

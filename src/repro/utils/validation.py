@@ -1,0 +1,75 @@
+"""Input-validation helpers shared across the library.
+
+These raise early, descriptive errors instead of letting malformed inputs
+propagate into NumPy broadcasting surprises deep inside the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_1d_int_array(arr, name: str, max_value: int | None = None) -> np.ndarray:
+    """Validate and convert ``arr`` to a 1-D int64 array.
+
+    Parameters
+    ----------
+    arr:
+        Array-like of integer indices.
+    name:
+        Name used in error messages.
+    max_value:
+        If given, all entries must lie in ``[0, max_value)``.
+    """
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    if out.size and not np.issubdtype(out.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got dtype {out.dtype}")
+    out = out.astype(np.int64, copy=False)
+    if max_value is not None and out.size:
+        lo, hi = int(out.min()), int(out.max())
+        if lo < 0 or hi >= max_value:
+            raise ValueError(
+                f"{name} entries must be in [0, {max_value}), found range [{lo}, {hi}]"
+            )
+    return out
+
+
+def check_2d_array(arr, name: str, num_rows: int | None = None) -> np.ndarray:
+    """Validate and convert ``arr`` to a 2-D float array."""
+    out = np.asarray(arr)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {out.shape}")
+    if num_rows is not None and out.shape[0] != num_rows:
+        raise ValueError(
+            f"{name} must have {num_rows} rows, got {out.shape[0]}"
+        )
+    return out
+
+
+def check_same_length(names: Sequence[str], *arrays) -> None:
+    """Validate that all arrays have the same first-dimension length."""
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) > 1:
+        pairs = ", ".join(f"{n}={l}" for n, l in zip(names, lengths))
+        raise ValueError(f"Length mismatch: {pairs}")

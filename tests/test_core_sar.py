@@ -1,0 +1,345 @@
+"""Tests for the SAR core: distributed aggregation correctness, communication
+behaviour (case 1 vs case 2), memory behaviour (SAR vs vanilla DP), and
+gradient synchronization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    DOMAIN_PARALLEL,
+    SAR,
+    SARConfig,
+    DistributedGraph,
+    DistributedHeteroGraph,
+    broadcast_parameters,
+    parameters_in_sync,
+    sync_gradients,
+)
+from repro.datasets import make_hetero_sbm_dataset
+from repro.distributed import run_distributed
+from repro.graph import HeteroGraph
+from repro.partition import (
+    PartitionBook,
+    create_hetero_shards,
+    create_shards,
+    partition_graph,
+)
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.sparse import edge_softmax_np
+from repro.utils.seed import set_seed
+
+WORLD = 4
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _shards_for(graph, num_parts=WORLD, seed=0):
+    assignment = partition_graph(graph, num_parts, seed=seed)
+    book = PartitionBook(assignment, num_parts)
+    return book, create_shards(graph, book)
+
+
+def _reference_gat_aggregate(graph, z, sd, ss, slope=0.2):
+    raw = sd[graph.dst] + ss[graph.src]
+    logits = np.where(raw > 0, raw, slope * raw)
+    alpha = edge_softmax_np(logits, graph.dst, graph.num_nodes)
+    out = np.zeros_like(z)
+    for e in range(graph.num_edges):
+        out[graph.dst[e]] += alpha[e][:, None] * z[graph.src[e]]
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# case 1: sum/mean aggregation
+# --------------------------------------------------------------------------- #
+class TestDistributedSumAggregation:
+    @pytest.mark.parametrize("mode", ["sar", "dp"])
+    @pytest.mark.parametrize("op", ["sum", "mean"])
+    def test_matches_single_machine_forward_and_backward(self, sbm_graph, rng, mode, op):
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 6)).astype(np.float32)
+        grad_seed = rng.standard_normal((sbm_graph.num_nodes, 6)).astype(np.float32)
+        # single-machine reference
+        norm = "mean" if op == "mean" else "none"
+        adj = sbm_graph.adjacency(normalization=norm)
+        expected = np.asarray(adj @ z_full)
+        expected_grad = np.asarray(adj.T @ grad_seed)
+
+        book, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+            dg.begin_step()
+            z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+            out = dg.aggregate_neighbors(z, op=op)
+            out.backward(grad_seed[shard.global_node_ids])
+            return out.data, z.grad
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        out_global = book.scatter_to_global([r[0] for r in result.results])
+        grad_global = book.scatter_to_global([r[1] for r in result.results])
+        np.testing.assert_allclose(out_global, expected, rtol=1e-3, atol=1e-3)
+        np.testing.assert_allclose(grad_global, expected_grad, rtol=1e-3, atol=1e-3)
+
+    def test_case1_has_no_backward_refetch(self, sbm_graph, rng):
+        """GraphSage is 'case 1': SAR must not re-fetch features in backward."""
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 4)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SAR)
+            dg.begin_step()
+            z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+            out = dg.aggregate_neighbors(z, op="mean")
+            (out ** 2).sum().backward()
+            return dict(comm.stats.bytes_by_tag)
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        for tags in result.results:
+            assert not any("backward_refetch" in key for key in tags)
+            assert any("forward_halo" in key for key in tags)
+
+    def test_sar_and_dp_same_communication_volume_for_case1(self, sbm_graph, rng):
+        """Paper §3.2: for sum/mean aggregation SAR introduces no comm overhead."""
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 4)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        volumes = {}
+        for mode in ("sar", "dp"):
+            def worker(rank, comm, shard, mode=mode):
+                dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+                dg.begin_step()
+                z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+                (dg.aggregate_neighbors(z, op="mean") ** 2).sum().backward()
+                return comm.stats.bytes_sent + comm.stats.bytes_received
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            volumes[mode] = sum(result.results)
+        assert volumes["sar"] == volumes["dp"]
+
+
+# --------------------------------------------------------------------------- #
+# case 2: attention aggregation
+# --------------------------------------------------------------------------- #
+class TestDistributedGATAggregation:
+    @pytest.mark.parametrize("mode,fused", [("sar", False), ("sar", True), ("dp", False)])
+    def test_matches_single_machine(self, sbm_graph, rng, mode, fused):
+        heads, dim = 2, 3
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        sd_full = rng.standard_normal((n, heads)).astype(np.float32)
+        ss_full = rng.standard_normal((n, heads)).astype(np.float32)
+        grad_seed = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        expected = _reference_gat_aggregate(sbm_graph, z_full, sd_full, ss_full)
+
+        book, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+            dg.begin_step()
+            ids = shard.global_node_ids
+            z = Tensor(z_full[ids], requires_grad=True)
+            sd = Tensor(sd_full[ids], requires_grad=True)
+            ss = Tensor(ss_full[ids], requires_grad=True)
+            out = dg.gat_aggregate(z, sd, ss, negative_slope=0.2, fused=fused)
+            out.backward(grad_seed[ids])
+            return out.data, z.grad, sd.grad, ss.grad
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        out_global = book.scatter_to_global([r[0] for r in result.results])
+        np.testing.assert_allclose(out_global, expected, rtol=1e-3, atol=1e-3)
+
+        # Gradients must match a single-machine autograd reference.
+        z_t = Tensor(z_full, requires_grad=True)
+        sd_t = Tensor(sd_full, requires_grad=True)
+        ss_t = Tensor(ss_full, requires_grad=True)
+        from repro.nn.gat_fused import FusedGATAggregation
+        ref_out = FusedGATAggregation.apply(z_t, sd_t, ss_t, sbm_graph.src, sbm_graph.dst,
+                                            n, 0.2)
+        ref_out.backward(grad_seed)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[1] for r in result.results]), z_t.grad,
+            rtol=1e-3, atol=1e-3)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[2] for r in result.results]), sd_t.grad,
+            rtol=1e-3, atol=1e-3)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[3] for r in result.results]), ss_t.grad,
+            rtol=1e-3, atol=1e-3)
+
+    def test_sar_refetches_and_dp_does_not(self, sbm_graph, rng):
+        """Paper §3.2 case 2: SAR re-fetches remote features during backward."""
+        heads, dim = 2, 2
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        s_full = rng.standard_normal((n, heads)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        tags = {}
+        for mode in ("sar", "dp"):
+            def worker(rank, comm, shard, mode=mode):
+                dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+                dg.begin_step()
+                ids = shard.global_node_ids
+                z = Tensor(z_full[ids], requires_grad=True)
+                sd = Tensor(s_full[ids], requires_grad=True)
+                ss = Tensor(s_full[ids], requires_grad=True)
+                (dg.gat_aggregate(z, sd, ss) ** 2).sum().backward()
+                return dict(comm.stats.bytes_by_tag)
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            tags[mode] = result.results
+        assert all(any("backward_refetch" in k for k in t) for t in tags["sar"])
+        assert all(not any("backward_refetch" in k for k in t) for t in tags["dp"])
+
+    def test_sar_uses_less_memory_than_dp(self, sbm_graph, rng):
+        """The headline claim: SAR's peak per-worker memory is below vanilla DP's."""
+        heads, dim = 4, 8
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        s_full = rng.standard_normal((n, heads)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        peaks = {}
+        for mode in ("sar", "dp"):
+            def worker(rank, comm, shard, mode=mode):
+                dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+                dg.begin_step()
+                ids = shard.global_node_ids
+                z = Tensor(z_full[ids], requires_grad=True)
+                sd = Tensor(s_full[ids], requires_grad=True)
+                ss = Tensor(s_full[ids], requires_grad=True)
+                (dg.gat_aggregate(z, sd, ss) ** 2).sum().backward()
+                return None
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            peaks[mode] = max(result.peak_memory_bytes)
+        assert peaks["sar"] < peaks["dp"]
+
+    def test_prefetch_memory_between_sar_and_dp(self, sbm_graph, rng):
+        """Prefetching (§3.4) keeps one extra partition resident: 3/N instead of 2/N."""
+        heads, dim = 4, 8
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        s_full = rng.standard_normal((n, heads)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        peaks = {}
+        for name, config in (("sar", SAR), ("prefetch", SARConfig("sar", prefetch=True)),
+                             ("dp", DOMAIN_PARALLEL)):
+            def worker(rank, comm, shard, config=config):
+                dg = DistributedGraph(shard, comm, config)
+                dg.begin_step()
+                ids = shard.global_node_ids
+                z = Tensor(z_full[ids], requires_grad=True)
+                sd = Tensor(s_full[ids], requires_grad=True)
+                ss = Tensor(s_full[ids], requires_grad=True)
+                (dg.gat_aggregate(z, sd, ss) ** 2).sum().backward()
+                return None
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            peaks[name] = max(result.peak_memory_bytes)
+        assert peaks["sar"] <= peaks["prefetch"] <= peaks["dp"]
+
+
+# --------------------------------------------------------------------------- #
+# case 2: relational aggregation
+# --------------------------------------------------------------------------- #
+class TestDistributedRGCNAggregation:
+    @pytest.fixture
+    def hetero_setup(self, rng):
+        dataset = make_hetero_sbm_dataset(
+            "test-mag", num_nodes=160, num_classes=4, feature_dim=6,
+            relation_specs={
+                "a": {"p_in": 0.1, "p_out": 0.01},
+                "b": {"p_in": 0.05, "p_out": 0.02},
+            }, seed=4,
+        )
+        hetero = dataset.hetero_graph
+        assignment = partition_graph(dataset.graph, WORLD, seed=0)
+        book = PartitionBook(assignment, WORLD)
+        shards = create_hetero_shards(hetero, book)
+        return hetero, book, shards
+
+    @pytest.mark.parametrize("mode", ["sar", "dp"])
+    def test_matches_single_machine_layer(self, hetero_setup, rng, mode):
+        hetero, book, shards = hetero_setup
+        set_seed(9)
+        layer = nn.RelGraphConv(6, 5, ["a", "b"], num_bases=2)
+        x_full = rng.standard_normal((hetero.num_nodes, 6)).astype(np.float32)
+        expected = layer(hetero, Tensor(x_full)).data
+        state = layer.state_dict()
+
+        def worker(rank, comm, shard):
+            replica = nn.RelGraphConv(6, 5, ["a", "b"], num_bases=2)
+            replica.load_state_dict(state)
+            dg = DistributedHeteroGraph(shard, comm, SARConfig(mode=mode))
+            dg.begin_step()
+            x = Tensor(x_full[shard.global_node_ids], requires_grad=True)
+            out = replica(dg, x)
+            (out ** 2).sum().backward()
+            grads = [p.grad.copy() for p in replica.parameters()]
+            return out.data, grads, dict(comm.stats.bytes_by_tag)
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        out_global = book.scatter_to_global([r[0] for r in result.results])
+        np.testing.assert_allclose(out_global, expected, rtol=1e-3, atol=1e-3)
+
+        # Parameter gradients: sum of per-worker contributions == single machine.
+        x_ref = Tensor(x_full, requires_grad=True)
+        layer.zero_grad()
+        (layer(hetero, x_ref) ** 2).sum().backward()
+        for index, param in enumerate(layer.parameters()):
+            total = sum(r[1][index] for r in result.results)
+            np.testing.assert_allclose(total, param.grad, rtol=2e-3, atol=2e-3)
+
+        # Case 2 communication behaviour.
+        refetches = [any("backward_refetch" in k for k in r[2]) for r in result.results]
+        assert all(refetches) if mode == "sar" else not any(refetches)
+
+
+# --------------------------------------------------------------------------- #
+# gradient synchronization helpers
+# --------------------------------------------------------------------------- #
+class TestGradSync:
+    def test_sync_gradients_sums_and_scales(self):
+        def worker(rank, comm):
+            p = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+            p.grad = np.full(3, float(rank + 1), dtype=np.float32)
+            sync_gradients([p], comm, scale=0.5)
+            return p.grad.copy()
+
+        result = run_distributed(worker, 3)
+        for grads in result.results:
+            np.testing.assert_allclose(grads, 0.5 * (1 + 2 + 3))
+
+    def test_sync_handles_missing_grads(self):
+        def worker(rank, comm):
+            p = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+            if rank == 0:
+                p.grad = np.ones(2, dtype=np.float32)
+            sync_gradients([p], comm)
+            return p.grad.copy()
+
+        result = run_distributed(worker, 2)
+        for grads in result.results:
+            np.testing.assert_allclose(grads, 1.0)
+
+    def test_broadcast_parameters_and_sync_check(self):
+        def worker(rank, comm):
+            p = Tensor(np.full(4, float(rank), dtype=np.float32), requires_grad=True)
+            in_sync_before = parameters_in_sync([p], comm)
+            broadcast_parameters([p], comm, source_rank=1)
+            in_sync_after = parameters_in_sync([p], comm)
+            return in_sync_before, in_sync_after, p.data.copy()
+
+        result = run_distributed(worker, 3)
+        assert all(not before for before, _, _ in result.results)
+        assert all(after for _, after, _ in result.results)
+        for _, _, data in result.results:
+            np.testing.assert_allclose(data, 1.0)
+
+    def test_empty_parameter_list_is_noop(self):
+        def worker(rank, comm):
+            sync_gradients([], comm)
+            return True
+
+        assert run_distributed(worker, 2).results == [True, True]

@@ -1,0 +1,118 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    available_datasets,
+    get_dataset,
+    make_hetero_sbm_dataset,
+    make_sbm_dataset,
+    ogbn_mag_mini,
+    ogbn_papers_mini,
+    ogbn_products_mini,
+    random_split,
+)
+
+
+class TestSplits:
+    def test_split_fractions(self, rng):
+        train, val, test = random_split(1000, 0.5, 0.2, 0.3, rng)
+        assert abs(train.sum() - 500) <= 1
+        assert abs(val.sum() - 200) <= 1
+        assert abs(test.sum() - 300) <= 1
+
+    def test_splits_disjoint(self, rng):
+        train, val, test = random_split(500, 0.4, 0.3, 0.3, rng)
+        assert not np.any(train & val)
+        assert not np.any(train & test)
+        assert not np.any(val & test)
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            random_split(100, 0.6, 0.3, 0.3)
+
+
+class TestSBMDataset:
+    def test_basic_properties(self, small_dataset):
+        ds = small_dataset
+        assert ds.num_nodes == ds.graph.num_nodes == len(ds.labels)
+        assert ds.features.shape == (ds.num_nodes, ds.feature_dim)
+        assert ds.labels.max() < ds.num_classes
+        assert ds.features.dtype == np.float32
+
+    def test_labels_match_blocks_homophily(self, small_dataset):
+        g, labels = small_dataset.graph, small_dataset.labels
+        no_self = g.src != g.dst
+        same = (labels[g.src[no_self]] == labels[g.dst[no_self]]).mean()
+        assert same > 0.6
+
+    def test_attach_to_graph(self, small_dataset):
+        assert "feat" in small_dataset.graph.ndata
+        assert "train_mask" in small_dataset.graph.ndata
+
+    def test_summary_fields(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["num_nodes"] == small_dataset.num_nodes
+        assert summary["train_nodes"] == int(small_dataset.train_mask.sum())
+
+    def test_reproducible_with_seed(self):
+        a = make_sbm_dataset("x", 100, 4, 8, 0.1, 0.01, seed=3)
+        b = make_sbm_dataset("x", 100, 4, 8, 0.1, 0.01, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.num_edges == b.num_edges
+
+    def test_split_indices_helpers(self, small_dataset):
+        assert len(small_dataset.train_indices()) == small_dataset.train_mask.sum()
+        assert len(small_dataset.test_indices()) == small_dataset.test_mask.sum()
+
+    def test_features_are_class_informative(self, small_dataset):
+        """A trivial nearest-centroid classifier must beat chance on the features."""
+        ds = small_dataset
+        centroids = np.stack([
+            ds.features[ds.labels == c].mean(axis=0) for c in range(ds.num_classes)
+        ])
+        distances = ((ds.features[:, None, :] - centroids[None]) ** 2).sum(-1)
+        accuracy = (distances.argmin(axis=1) == ds.labels).mean()
+        assert accuracy > 1.5 / ds.num_classes
+
+
+class TestOgbLikeDatasets:
+    def test_products_mini_shape(self):
+        ds = ogbn_products_mini(scale=0.2)
+        assert ds.feature_dim == 100
+        assert ds.num_classes == 12
+        assert ds.name == "ogbn-products-mini"
+
+    def test_papers_mini_sparse_labels(self):
+        ds = ogbn_papers_mini(scale=0.2)
+        assert ds.feature_dim == 128
+        assert ds.train_mask.mean() < 0.2
+
+    def test_mag_mini_is_heterogeneous(self):
+        ds = ogbn_mag_mini(scale=0.2)
+        assert ds.hetero_graph is not None
+        assert set(ds.hetero_graph.relation_names) == {
+            "cites", "writes", "affiliated_with", "has_topic"
+        }
+        assert ds.graph.num_edges == ds.hetero_graph.num_edges
+
+    def test_registry(self):
+        assert set(available_datasets()) == {
+            "ogbn-products-mini", "ogbn-papers-mini", "ogbn-mag-mini"
+        }
+        ds = get_dataset("ogbn-products-mini", scale=0.2)
+        assert ds.num_nodes > 0
+        with pytest.raises(KeyError):
+            get_dataset("ogbn-unknown")
+
+    def test_scale_parameter_changes_size(self):
+        small = ogbn_products_mini(scale=0.2)
+        large = ogbn_products_mini(scale=0.4)
+        assert large.num_nodes > small.num_nodes
+
+    def test_hetero_relations_have_different_densities(self):
+        ds = ogbn_mag_mini(scale=0.3)
+        counts = [ds.hetero_graph.num_edges_of(r) for r in ds.hetero_graph.relation_names]
+        assert len(set(counts)) > 1

@@ -1,0 +1,252 @@
+"""Tests for the simulated cluster runtime: communicator, collectives, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClusterSpec,
+    SimulatedCluster,
+    epoch_cost,
+    run_distributed,
+    scaling_table,
+)
+from repro.distributed.thread_backend import ClusterAborted
+from repro.tensor import Tensor
+
+
+class TestPointToPoint:
+    def test_publish_fetch_roundtrip(self):
+        def worker(rank, comm):
+            comm.publish("vec", np.full(4, rank, dtype=np.float32))
+            neighbor = (rank + 1) % comm.world_size
+            fetched = comm.fetch(neighbor, "vec")
+            comm.barrier()
+            return float(fetched[0])
+
+        result = run_distributed(worker, 4)
+        assert result.results == [1.0, 2.0, 3.0, 0.0]
+
+    def test_fetch_row_subset(self):
+        def worker(rank, comm):
+            comm.publish("mat", np.arange(12, dtype=np.float32).reshape(6, 2) + rank)
+            rows = np.array([1, 4])
+            fetched = comm.fetch((rank + 1) % 2, "mat", rows=rows)
+            comm.barrier()
+            return fetched.copy()
+
+        result = run_distributed(worker, 2)
+        np.testing.assert_allclose(result.results[0][:, 0], [2 + 1, 8 + 1])
+
+    def test_fetch_is_a_copy(self):
+        def worker(rank, comm):
+            data = np.zeros(3, dtype=np.float32)
+            comm.publish("x", data)
+            comm.barrier()
+            fetched = comm.fetch((rank + 1) % 2, "x")
+            fetched += 100.0
+            comm.barrier()
+            return float(data.sum())
+
+        result = run_distributed(worker, 2)
+        assert result.results == [0.0, 0.0]
+
+    def test_self_fetch_not_counted_as_communication(self):
+        def worker(rank, comm):
+            comm.publish("x", np.ones(10, dtype=np.float32))
+            comm.fetch(rank, "x")
+            return comm.stats.bytes_received
+
+        result = run_distributed(worker, 2)
+        assert result.results == [0, 0]
+
+    def test_communication_volume_accounting(self):
+        payload_bytes = 40  # 10 float32
+
+        def worker(rank, comm):
+            comm.publish("x", np.ones(10, dtype=np.float32))
+            comm.fetch((rank + 1) % 2, "x", tag="halo")
+            comm.barrier()
+            return None
+
+        result = run_distributed(worker, 2)
+        for stats in result.comm_stats:
+            assert stats.bytes_received == payload_bytes
+            assert stats.bytes_sent == payload_bytes
+            assert stats.bytes_by_tag["halo_recv"] == payload_bytes
+
+    def test_unpublish_and_clear(self):
+        def worker(rank, comm):
+            comm.publish("a", np.ones(2))
+            comm.publish("b", np.ones(2))
+            comm.unpublish("a")
+            comm.clear_published()
+            comm.barrier()
+            return True
+
+        assert run_distributed(worker, 2).results == [True, True]
+
+
+class TestCollectives:
+    def test_allreduce_sum_and_max(self):
+        def worker(rank, comm):
+            total = comm.allreduce(np.array([rank + 1.0]), op="sum")
+            biggest = comm.allreduce(np.array([float(rank)]), op="max")
+            return float(total[0]), float(biggest[0])
+
+        result = run_distributed(worker, 4)
+        assert all(r == (10.0, 3.0) for r in result.results)
+
+    def test_allreduce_mean(self):
+        def worker(rank, comm):
+            return float(comm.allreduce(np.array([float(rank)]), op="mean")[0])
+
+        assert run_distributed(worker, 4).results == [1.5] * 4
+
+    def test_allreduce_scalar(self):
+        def worker(rank, comm):
+            return comm.allreduce_scalar(1.0)
+
+        assert run_distributed(worker, 3).results == [3.0] * 3
+
+    def test_allgather(self):
+        def worker(rank, comm):
+            gathered = comm.allgather(np.array([rank], dtype=np.int64))
+            return [int(g[0]) for g in gathered]
+
+        result = run_distributed(worker, 3)
+        assert all(r == [0, 1, 2] for r in result.results)
+
+    def test_exchange_all_to_all(self):
+        def worker(rank, comm):
+            outgoing = {
+                q: np.array([rank * 10 + q], dtype=np.float32)
+                for q in range(comm.world_size) if q != rank
+            }
+            received = comm.exchange("round1", outgoing)
+            return sorted((sender, float(v[0])) for sender, v in received.items())
+
+        result = run_distributed(worker, 3)
+        # worker 0 receives 10·1+0 from rank 1 and 10·2+0 from rank 2
+        assert result.results[0] == [(1, 10.0), (2, 20.0)]
+        assert result.results[2] == [(0, 2.0), (1, 12.0)]
+
+    def test_exchange_with_partial_destinations(self):
+        def worker(rank, comm):
+            outgoing = {0: np.array([float(rank)])} if rank != 0 else {}
+            received = comm.exchange("partial", outgoing)
+            return sorted(received.keys())
+
+        result = run_distributed(worker, 3)
+        assert result.results[0] == [1, 2]
+        assert result.results[1] == []
+
+    def test_repeated_collectives_stay_consistent(self):
+        def worker(rank, comm):
+            values = []
+            for step in range(5):
+                out = comm.allreduce(np.array([float(rank + step)]))
+                values.append(float(out[0]))
+            return values
+
+        result = run_distributed(worker, 3)
+        expected = [sum(r + s for r in range(3)) for s in range(5)]
+        assert all(r == expected for r in result.results)
+
+
+class TestFailureHandling:
+    def test_worker_exception_propagates_without_deadlock(self):
+        def worker(rank, comm):
+            if rank == 1:
+                raise ValueError("boom")
+            # Other workers would block here forever without the abort machinery.
+            comm.barrier()
+            return True
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_distributed(worker, 3, timeout_s=20)
+
+    def test_bad_worker_args_length(self):
+        cluster = SimulatedCluster(2)
+        with pytest.raises(ValueError):
+            cluster.run(lambda rank, comm, arg: arg, worker_args=[1])
+
+    def test_invalid_exchange_destination(self):
+        def worker(rank, comm):
+            comm.exchange("x", {99: np.ones(1)})
+
+        with pytest.raises(RuntimeError):
+            run_distributed(worker, 2, timeout_s=20)
+
+
+class TestMemoryAndTiming:
+    def test_per_worker_memory_isolated(self):
+        def worker(rank, comm):
+            tensors = [Tensor(np.zeros((1000 * (rank + 1),), dtype=np.float32))]
+            comm.barrier()
+            return tensors[0].nbytes
+
+        result = run_distributed(worker, 3)
+        peaks = result.peak_memory_bytes
+        assert peaks[0] < peaks[1] < peaks[2]
+        assert peaks[0] >= 4000
+
+    def test_compute_times_recorded(self):
+        def worker(rank, comm):
+            x = np.random.randn(400, 400)
+            for _ in range(10):
+                x = x @ x.T
+                x /= np.abs(x).max()
+            return None
+
+        result = run_distributed(worker, 2)
+        assert all(t >= 0 for t in result.compute_times)
+        assert max(result.compute_times) > 0
+
+    def test_summary_keys(self):
+        result = run_distributed(lambda rank, comm: None, 2)
+        summary = result.summary()
+        assert {"world_size", "max_peak_memory_mb", "max_compute_time_s",
+                "total_comm_mb"} <= set(summary)
+
+
+class TestCostModel:
+    def _result(self, world_size=2):
+        def worker(rank, comm):
+            local = Tensor(np.ones(1000, dtype=np.float32))
+            comm.publish("x", local.data)
+            comm.fetch((rank + 1) % comm.world_size, "x")
+            comm.barrier()
+            return None
+
+        return run_distributed(worker, world_size)
+
+    def test_epoch_cost_includes_compute_and_comm(self):
+        report = epoch_cost(self._result(), ClusterSpec(bandwidth_mbps=1.0, latency_s=0.0))
+        assert report.epoch_time_s >= report.comm_time_s > 0
+
+    def test_lower_bandwidth_increases_modeled_time(self):
+        result = self._result()
+        fast = epoch_cost(result, ClusterSpec(bandwidth_mbps=10_000.0))
+        slow = epoch_cost(result, ClusterSpec(bandwidth_mbps=1.0))
+        assert slow.epoch_time_s > fast.epoch_time_s
+
+    def test_oom_flag(self):
+        result = self._result()
+        spec = ClusterSpec(memory_budget_mb=1e-9)
+        assert epoch_cost(result, spec).any_oom
+        assert not epoch_cost(result, ClusterSpec(memory_budget_mb=1e6)).any_oom
+
+    def test_num_epochs_scales_down(self):
+        result = self._result()
+        one = epoch_cost(result, num_epochs=1)
+        two = epoch_cost(result, num_epochs=2)
+        assert two.epoch_time_s < one.epoch_time_s
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            epoch_cost(self._result(), num_epochs=0)
+
+    def test_scaling_table_sorted(self):
+        result = self._result()
+        table = scaling_table({4: epoch_cost(result), 2: epoch_cost(result)})
+        assert [row["num_workers"] for row in table] == [2, 4]

@@ -1,0 +1,177 @@
+"""Tests for the Graph data structure and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    erdos_renyi,
+    ring_graph,
+    star_graph,
+    stochastic_block_model,
+)
+
+
+class TestGraphBasics:
+    def test_construction_and_counts(self):
+        g = Graph(4, [0, 1, 2], [1, 2, 3])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 5], [1, 2])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1])
+
+    def test_degrees(self):
+        g = Graph(4, [0, 1, 1, 2], [1, 2, 2, 3])
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 2, 1])
+        np.testing.assert_array_equal(g.out_degrees(), [1, 2, 1, 0])
+
+    def test_ndata_validation(self):
+        g = Graph(3, [0], [1])
+        g.set_ndata("feat", np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            g.set_ndata("bad", np.zeros((2, 4)))
+
+    def test_neighbors(self):
+        g = Graph(4, [0, 2, 3], [1, 1, 2])
+        np.testing.assert_array_equal(np.sort(g.in_neighbors(1)), [0, 2])
+        np.testing.assert_array_equal(g.out_neighbors(3), [2])
+
+
+class TestAdjacency:
+    def test_sum_adjacency_matches_manual_aggregation(self, tiny_graph):
+        x = np.random.randn(tiny_graph.num_nodes, 3).astype(np.float32)
+        agg = tiny_graph.adjacency() @ x
+        expected = np.zeros_like(x)
+        np.add.at(expected, tiny_graph.dst, x[tiny_graph.src])
+        np.testing.assert_allclose(agg, expected, rtol=1e-5)
+
+    def test_mean_normalization_rows(self, tiny_graph):
+        adj = tiny_graph.adjacency(normalization="mean")
+        row_sums = np.asarray(adj.sum(axis=1)).reshape(-1)
+        present = tiny_graph.in_degrees() > 0
+        np.testing.assert_allclose(row_sums[present], 1.0, rtol=1e-5)
+
+    def test_transpose_cached_consistent(self, tiny_graph):
+        adj = tiny_graph.adjacency()
+        adj_t = tiny_graph.adjacency(transpose=True)
+        np.testing.assert_allclose(adj.toarray().T, adj_t.toarray())
+
+    def test_sym_normalization_eigenvalue_bound(self, sbm_graph):
+        adj = sbm_graph.adjacency(normalization="sym")
+        x = np.random.randn(sbm_graph.num_nodes).astype(np.float32)
+        # ||A_sym|| <= 1, so repeated application must not blow up.
+        for _ in range(20):
+            x = adj @ x
+        assert np.all(np.isfinite(x))
+
+    def test_unknown_normalization_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.adjacency(normalization="bogus")
+
+
+class TestTransformations:
+    def test_add_self_loops(self):
+        g = Graph(3, [0], [1]).add_self_loops()
+        assert g.num_edges == 4
+        assert np.all(g.in_degrees() >= 1)
+
+    def test_remove_self_loops(self):
+        g = Graph(3, [0, 1, 2], [0, 2, 2]).remove_self_loops()
+        assert g.num_edges == 1
+
+    def test_reverse_swaps_directions(self):
+        g = Graph(3, [0, 1], [1, 2]).reverse()
+        np.testing.assert_array_equal(g.src, [1, 2])
+        np.testing.assert_array_equal(g.dst, [0, 1])
+
+    def test_to_bidirected_is_symmetric(self):
+        g = Graph(4, [0, 1, 2], [1, 2, 3]).to_bidirected()
+        assert g.is_bidirected()
+
+    def test_coalesce_removes_duplicates(self):
+        g = Graph(3, [0, 0, 1], [1, 1, 2]).coalesce()
+        assert g.num_edges == 2
+
+    def test_subgraph_relabels_and_keeps_internal_edges(self):
+        g = Graph(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        sub, nodes = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # 1→2 and 2→3 survive
+        np.testing.assert_array_equal(nodes, [1, 2, 3])
+
+    def test_subgraph_carries_ndata(self):
+        g = Graph(4, [0], [1], ndata={"feat": np.arange(8).reshape(4, 2)})
+        sub, nodes = g.subgraph([2, 3])
+        np.testing.assert_array_equal(sub.ndata["feat"], [[4, 5], [6, 7]])
+
+    def test_edge_subgraph_arrays(self):
+        g = Graph(4, [0, 1, 2], [1, 2, 3])
+        src, dst = g.edge_subgraph_arrays(np.array([True, False, True]))
+        np.testing.assert_array_equal(src, [0, 2])
+        with pytest.raises(ValueError):
+            g.edge_subgraph_arrays(np.array([True]))
+
+    def test_from_scipy_and_edge_list(self):
+        g1 = Graph.from_edge_list(3, [(0, 1), (1, 2)])
+        g2 = Graph.from_scipy(g1.adjacency())
+        assert g2.num_edges == g1.num_edges
+
+
+class TestGenerators:
+    def test_sbm_homophily(self):
+        graph, blocks = stochastic_block_model([50, 50], p_in=0.2, p_out=0.01, seed=0)
+        same = (blocks[graph.src] == blocks[graph.dst]).mean()
+        assert same > 0.7
+
+    def test_sbm_is_bidirected(self):
+        graph, _ = stochastic_block_model([20, 20], 0.2, 0.05, seed=1)
+        assert graph.is_bidirected()
+
+    def test_sbm_reproducible(self):
+        g1, _ = stochastic_block_model([30, 30], 0.1, 0.02, seed=5)
+        g2, _ = stochastic_block_model([30, 30], 0.1, 0.02, seed=5)
+        assert g1.num_edges == g2.num_edges
+        np.testing.assert_array_equal(g1.src, g2.src)
+
+    def test_sbm_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([10, 10], p_in=1.5, p_out=0.1)
+
+    def test_erdos_renyi_degree(self):
+        g = erdos_renyi(500, avg_degree=10, seed=0)
+        assert 6 < g.num_edges / g.num_nodes < 14
+
+    def test_barabasi_albert_power_law_hubs(self):
+        g = barabasi_albert(300, attach=2, seed=0)
+        degrees = g.in_degrees()
+        assert degrees.max() > 4 * np.median(degrees[degrees > 0])
+
+    def test_ring_graph_structure(self):
+        g = ring_graph(10)
+        np.testing.assert_array_equal(g.in_degrees(), np.full(10, 2))
+
+    def test_star_graph_structure(self):
+        g = star_graph(6)
+        assert g.num_nodes == 7
+        assert g.in_degrees()[0] == 6
+
+    @given(st.integers(2, 6), st.integers(10, 40), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_sbm_block_sizes_respected(self, num_blocks, block_size, seed):
+        graph, blocks = stochastic_block_model(
+            [block_size] * num_blocks, p_in=0.1, p_out=0.02, seed=seed
+        )
+        assert graph.num_nodes == num_blocks * block_size
+        assert len(np.unique(blocks)) == num_blocks
+        # every edge endpoint must be a valid node id
+        if graph.num_edges:
+            assert graph.src.max() < graph.num_nodes
+            assert graph.dst.max() < graph.num_nodes

@@ -1,0 +1,77 @@
+"""Tests for the true multi-process backend (one OS process per worker).
+
+Kept intentionally small (2 workers, a tiny graph) — the thread backend is the
+workhorse; these tests demonstrate that the SAR machinery only depends on the
+abstract Communicator interface and runs unchanged across processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SARConfig
+from repro.distributed.mp_backend import run_multiprocess
+from repro.graph import stochastic_block_model
+from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.tensor import Tensor
+
+
+def _collective_worker(rank, comm):
+    total = comm.allreduce(np.array([rank + 1.0]))
+    comm.publish("x", np.full(3, rank, dtype=np.float32))
+    fetched = comm.fetch((rank + 1) % comm.world_size, "x")
+    exchanged = comm.exchange("e", {q: np.array([float(rank)], dtype=np.float32)
+                                    for q in range(comm.world_size) if q != rank})
+    gathered = comm.allgather(np.array([rank], dtype=np.int64))
+    comm.barrier()
+    return (float(total[0]), float(fetched[0]),
+            sorted((k, float(v[0])) for k, v in exchanged.items()),
+            [int(g[0]) for g in gathered])
+
+
+def _sar_aggregation_worker(rank, comm, shard, z_full=None):
+    from repro.core import DistributedGraph
+
+    dist_graph = DistributedGraph(shard, comm, SARConfig("sar"))
+    dist_graph.begin_step()
+    z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+    out = dist_graph.aggregate_neighbors(z, op="mean")
+    (out ** 2).sum().backward()
+    return out.data, z.grad
+
+
+def _failing_worker(rank, comm):
+    if rank == 1:
+        raise ValueError("mp boom")
+    return True
+
+
+class TestMultiprocessBackend:
+    def test_collectives_across_processes(self):
+        results = run_multiprocess(_collective_worker, world_size=2, timeout_s=120)
+        assert results[0][0] == 3.0 and results[1][0] == 3.0
+        assert results[0][1] == 1.0 and results[1][1] == 0.0
+        assert results[0][2] == [(1, 1.0)]
+        assert results[0][3] == [0, 1]
+
+    def test_sar_aggregation_matches_single_machine(self):
+        graph, _ = stochastic_block_model([30, 30], p_in=0.15, p_out=0.03, seed=1)
+        graph = graph.add_self_loops()
+        rng = np.random.default_rng(0)
+        z_full = rng.standard_normal((graph.num_nodes, 4)).astype(np.float32)
+        assignment = partition_graph(graph, 2, seed=0)
+        book = PartitionBook(assignment, 2)
+        shards = create_shards(graph, book)
+
+        results = run_multiprocess(_sar_aggregation_worker, world_size=2,
+                                   worker_args=shards, timeout_s=120, z_full=z_full)
+        stitched = book.scatter_to_global([r[0] for r in results])
+        expected = np.asarray(graph.adjacency(normalization="mean") @ z_full)
+        np.testing.assert_allclose(stitched, expected, rtol=1e-3, atol=1e-3)
+
+    def test_worker_error_is_reported(self):
+        with pytest.raises(RuntimeError, match="mp boom"):
+            run_multiprocess(_failing_worker, world_size=2, timeout_s=60)
+
+    def test_worker_args_length_validated(self):
+        with pytest.raises(ValueError):
+            run_multiprocess(_collective_worker, world_size=2, worker_args=[1])

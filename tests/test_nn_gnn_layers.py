@@ -1,0 +1,235 @@
+"""Tests for the GNN layers: SageConv, GATConv, FusedGATConv, RelGraphConv, models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.graph import HeteroGraph
+from repro.nn.sage import sage_reference_forward
+from repro.tensor import MemoryTracker, Tensor, check_gradients, track_memory
+from repro.tensor import functional as F
+from repro.utils.seed import set_seed
+
+
+@pytest.fixture
+def features(sbm_graph, rng):
+    return Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32),
+                  requires_grad=True)
+
+
+class TestSageConv:
+    def test_matches_reference_implementation(self, sbm_graph, features):
+        layer = nn.SageConv(8, 5, aggregator="mean")
+        out = layer(sbm_graph, features)
+        expected = sage_reference_forward(
+            sbm_graph, features, layer.neighbor_linear.weight,
+            layer.self_linear.weight, layer.self_linear.bias, aggregator="mean",
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_sum_aggregator(self, sbm_graph, features):
+        layer = nn.SageConv(8, 5, aggregator="sum")
+        out = layer(sbm_graph, features)
+        expected = sage_reference_forward(
+            sbm_graph, features, layer.neighbor_linear.weight,
+            layer.self_linear.weight, layer.self_linear.bias, aggregator="sum",
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-3, atol=1e-3)
+
+    def test_gradients(self, tiny_graph, rng):
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer = nn.SageConv(4, 3)
+        check_gradients(lambda: (layer(tiny_graph, x) ** 2).mean(),
+                        [x] + layer.parameters(), atol=2e-2, rtol=2e-2)
+
+    def test_activation_applied(self, tiny_graph, rng):
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32))
+        layer = nn.SageConv(4, 3, activation=F.relu)
+        assert np.all(layer(tiny_graph, x).data >= 0)
+
+    def test_invalid_aggregator(self):
+        with pytest.raises(ValueError):
+            nn.SageConv(4, 3, aggregator="median")
+
+    def test_wrong_feature_rows(self, tiny_graph, rng):
+        layer = nn.SageConv(4, 3)
+        with pytest.raises(ValueError):
+            layer(tiny_graph, Tensor(np.zeros((2, 4), dtype=np.float32)))
+
+
+class TestGATConv:
+    def _pair(self, in_f=8, out_f=4, heads=2):
+        set_seed(5)
+        standard = nn.GATConv(in_f, out_f, num_heads=heads)
+        fused = nn.FusedGATConv(in_f, out_f, num_heads=heads)
+        fused.load_state_dict(standard.state_dict())
+        return standard, fused
+
+    def test_fused_matches_standard_forward(self, sbm_graph, features):
+        standard, fused = self._pair()
+        np.testing.assert_allclose(
+            standard(sbm_graph, features).data, fused(sbm_graph, features).data,
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_fused_matches_standard_gradients(self, sbm_graph, features):
+        standard, fused = self._pair()
+        loss_s = (standard(sbm_graph, features) ** 2).mean()
+        features.grad = None
+        loss_s.backward()
+        grad_std = {n: p.grad.copy() for n, p in standard.named_parameters()}
+        x_grad_std = features.grad.copy()
+
+        features.grad = None
+        (fused(sbm_graph, features) ** 2).mean().backward()
+        for name, param in fused.named_parameters():
+            np.testing.assert_allclose(param.grad, grad_std[name], rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(features.grad, x_grad_std, rtol=1e-3, atol=1e-4)
+
+    def test_standard_gradcheck(self, tiny_graph, rng):
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer = nn.GATConv(4, 3, num_heads=2)
+        check_gradients(lambda: (layer(tiny_graph, x) ** 2).mean(),
+                        [x] + layer.parameters(), atol=3e-2, rtol=3e-2)
+
+    def test_fused_gradcheck(self, tiny_graph, rng):
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer = nn.FusedGATConv(4, 3, num_heads=2)
+        check_gradients(lambda: (layer(tiny_graph, x) ** 2).mean(),
+                        [x] + layer.parameters(), atol=3e-2, rtol=3e-2)
+
+    def test_output_shape_multi_head(self, sbm_graph, features):
+        layer = nn.GATConv(8, 4, num_heads=3)
+        assert layer(sbm_graph, features).shape == (sbm_graph.num_nodes, 12)
+
+    def test_attention_normalization_single_head_uniform_scores(self, tiny_graph):
+        """With identical attention scores, GAT must reduce to mean aggregation."""
+        layer = nn.GATConv(4, 4, num_heads=1, bias=False)
+        layer.attn_l.data[...] = 0.0
+        layer.attn_r.data[...] = 0.0
+        x = Tensor(np.random.randn(tiny_graph.num_nodes, 4).astype(np.float32))
+        out = layer(tiny_graph, x).data
+        z = x.data @ layer.fc.weight.data
+        deg = np.maximum(tiny_graph.in_degrees(), 1).astype(np.float32)
+        expected = np.zeros_like(z)
+        np.add.at(expected, tiny_graph.dst, z[tiny_graph.src])
+        expected /= deg[:, None]
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_fused_kernel_uses_less_forward_memory(self, sbm_graph):
+        """The standard layer materializes per-edge tensors; the fused one must not."""
+        set_seed(0)
+        x = Tensor(np.random.randn(sbm_graph.num_nodes, 16).astype(np.float32),
+                   requires_grad=True)
+        standard, fused = nn.GATConv(16, 8, num_heads=4), nn.FusedGATConv(16, 8, num_heads=4)
+        fused.load_state_dict(standard.state_dict())
+
+        def peak(layer):
+            tracker = MemoryTracker("gat")
+            with track_memory(tracker):
+                out = layer(sbm_graph, x)
+                peak_bytes = tracker.peak_bytes
+                del out
+            return peak_bytes
+
+        assert peak(fused) < peak(standard)
+
+    def test_kernel_flags(self):
+        assert nn.GATConv(4, 4).uses_fused_kernel is False
+        assert nn.FusedGATConv(4, 4).uses_fused_kernel is True
+
+
+class TestRelGraphConv:
+    @pytest.fixture
+    def hetero(self, sbm_graph):
+        half = sbm_graph.num_edges // 2
+        return HeteroGraph(sbm_graph.num_nodes, {
+            "a": (sbm_graph.src[:half], sbm_graph.dst[:half]),
+            "b": (sbm_graph.src[half:], sbm_graph.dst[half:]),
+        })
+
+    def test_output_shape(self, hetero, features):
+        layer = nn.RelGraphConv(8, 6, ["a", "b"], num_bases=2)
+        assert layer(hetero, features).shape == (hetero.num_nodes, 6)
+
+    def test_basis_decomposition_reduces_parameters(self):
+        full = nn.RelGraphConv(8, 6, ["a", "b", "c", "d"], num_bases=None)
+        basis = nn.RelGraphConv(8, 6, ["a", "b", "c", "d"], num_bases=2)
+        assert basis.num_parameters() < full.num_parameters()
+
+    def test_num_bases_validation(self):
+        with pytest.raises(ValueError):
+            nn.RelGraphConv(4, 4, ["a"], num_bases=3)
+        with pytest.raises(ValueError):
+            nn.RelGraphConv(4, 4, [])
+
+    def test_gradients_with_bases(self, tiny_graph, rng):
+        hetero = HeteroGraph(tiny_graph.num_nodes, {
+            "a": (tiny_graph.src[:10], tiny_graph.dst[:10]),
+            "b": (tiny_graph.src[10:], tiny_graph.dst[10:]),
+        })
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer = nn.RelGraphConv(4, 3, ["a", "b"], num_bases=2)
+        check_gradients(lambda: (layer(hetero, x) ** 2).mean(),
+                        [x] + layer.parameters(), atol=3e-2, rtol=3e-2)
+
+    def test_gradients_without_bases(self, tiny_graph, rng):
+        hetero = HeteroGraph(tiny_graph.num_nodes, {
+            "a": (tiny_graph.src, tiny_graph.dst),
+        })
+        x = Tensor(rng.standard_normal((tiny_graph.num_nodes, 4)).astype(np.float32),
+                   requires_grad=True)
+        layer = nn.RelGraphConv(4, 3, ["a"], num_bases=None)
+        check_gradients(lambda: (layer(hetero, x) ** 2).mean(),
+                        [x] + layer.parameters(), atol=3e-2, rtol=3e-2)
+
+    def test_relation_weight_shapes(self):
+        layer = nn.RelGraphConv(5, 3, ["a", "b"], num_bases=2)
+        assert layer.relation_weights().shape == (2, 15)
+        assert layer.relation_weight(0).shape == (5, 3)
+
+
+class TestModels:
+    def test_graphsage_net_shapes(self, sbm_graph, rng):
+        model = nn.GraphSageNet(8, 16, 5, num_layers=3)
+        x = Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32))
+        model.eval()
+        assert model(sbm_graph, x).shape == (sbm_graph.num_nodes, 5)
+        assert model.num_layers == 3
+
+    def test_gat_net_fused_and_standard_equivalent(self, sbm_graph, rng):
+        x = Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32))
+        set_seed(3)
+        standard = nn.GATNet(8, 4, 5, num_heads=2, dropout=0.0)
+        fused = nn.GATNet(8, 4, 5, num_heads=2, dropout=0.0, fused=True)
+        fused.load_state_dict(standard.state_dict())
+        standard.eval(), fused.eval()
+        np.testing.assert_allclose(standard(sbm_graph, x).data, fused(sbm_graph, x).data,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_rgcn_net_forward(self, sbm_graph, rng):
+        hetero = HeteroGraph(sbm_graph.num_nodes, {
+            "a": (sbm_graph.src, sbm_graph.dst),
+            "b": (sbm_graph.dst, sbm_graph.src),
+        })
+        model = nn.RGCNNet(8, 16, 4, ["a", "b"], num_layers=2)
+        model.eval()
+        x = Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32))
+        assert model(hetero, x).shape == (sbm_graph.num_nodes, 4)
+
+    def test_batch_norm_can_be_disabled(self, sbm_graph, rng):
+        model = nn.GraphSageNet(8, 16, 3, use_batch_norm=False)
+        assert len(model.norms) == 0
+        x = Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32))
+        model.eval()
+        assert model(sbm_graph, x).shape == (sbm_graph.num_nodes, 3)
+
+    def test_set_comm_attaches_to_all_norms(self):
+        model = nn.GraphSageNet(8, 16, 3)
+        sentinel = object()
+        model.set_comm(sentinel)
+        assert all(norm.comm is sentinel for norm in model.norms)

@@ -1,0 +1,182 @@
+"""Tests for Module/Parameter mechanics and the basic layers (Linear, Dropout, BN)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distributed import run_distributed
+from repro.tensor import Tensor, check_gradients
+from repro.utils.seed import set_seed
+
+
+class TestModuleMechanics:
+    def test_parameter_registration_order_is_deterministic(self):
+        set_seed(0)
+        m1 = nn.GraphSageNet(8, 16, 3)
+        set_seed(0)
+        m2 = nn.GraphSageNet(8, 16, 3)
+        names1 = [n for n, _ in m1.named_parameters()]
+        names2 = [n for n, _ in m2.named_parameters()]
+        assert names1 == names2
+        assert len(names1) == len(set(names1))
+
+    def test_parameters_recursive(self):
+        layer = nn.Linear(4, 3)
+        assert len(layer.parameters()) == 2
+        model = nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Linear(3, 2))
+        assert len(model.parameters()) == 4
+
+    def test_state_dict_roundtrip(self):
+        set_seed(1)
+        src = nn.GATNet(6, 4, 3, num_heads=2)
+        set_seed(2)
+        dst = nn.GATNet(6, 4, 3, num_heads=2)
+        dst.load_state_dict(src.state_dict())
+        for (name_a, a), (name_b, b) in zip(src.named_parameters(), dst.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Linear(3, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = nn.GraphSageNet(4, 8, 2)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = nn.Linear(3, 2)
+        x = Tensor(np.ones((4, 3), dtype=np.float32))
+        model(x).sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_num_parameters(self):
+        model = nn.Linear(3, 2)
+        assert model.num_parameters() == 3 * 2 + 2
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(layers) == 2
+        assert len(layers.parameters()) == 4
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones((1, 2))))
+
+    def test_sequential_forward(self):
+        set_seed(0)
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        out = model(Tensor(np.ones((5, 3), dtype=np.float32)))
+        assert out.shape == (5, 2)
+        assert model[0].out_features == 4
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = nn.Linear(4, 3)
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data,
+                                   rtol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = nn.Linear(3, 2)
+        x = Tensor(rng.standard_normal((5, 3)).astype(np.float32), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).mean(), [x] + layer.parameters())
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+
+class TestDropoutModule:
+    def test_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.5)
+        x = Tensor(rng.standard_normal((100, 10)).astype(np.float32))
+        layer.eval()
+        np.testing.assert_array_equal(layer(x).data, x.data)
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self, rng):
+        bn = nn.BatchNorm1d(6)
+        x = Tensor((3.0 * rng.standard_normal((200, 6)) + 5.0).astype(np.float32))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_in_eval(self, rng):
+        bn = nn.BatchNorm1d(4, momentum=0.5)
+        x = Tensor((2.0 + rng.standard_normal((100, 4))).astype(np.float32))
+        for _ in range(20):
+            bn(x)
+        bn.eval()
+        out = bn(x).data
+        # eval-mode output should be close to the train-mode normalization
+        assert abs(out.mean()) < 0.5
+
+    def test_gradients(self, rng):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor(rng.standard_normal((12, 3)).astype(np.float32), requires_grad=True)
+        check_gradients(lambda: (bn(x) ** 2).mean(), [x, bn.gamma, bn.beta],
+                        atol=2e-2, rtol=2e-2)
+
+    def test_feature_dim_mismatch_raises(self, rng):
+        bn = nn.BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.standard_normal((5, 4)).astype(np.float32)))
+
+    def test_distributed_matches_single_machine(self, rng):
+        """Global statistics across workers must equal single-machine statistics."""
+        full = rng.standard_normal((40, 5)).astype(np.float32) * 2.0 + 1.0
+        reference = nn.BatchNorm1d(5)
+        expected = reference(Tensor(full)).data
+
+        def worker(rank, comm):
+            bn = nn.DistributedBatchNorm(5, comm=comm)
+            local = full[rank * 20:(rank + 1) * 20]
+            out = bn(Tensor(local))
+            comm.barrier()
+            return out.data
+
+        result = run_distributed(worker, 2)
+        stacked = np.concatenate(result.results, axis=0)
+        np.testing.assert_allclose(stacked, expected, atol=1e-4)
+
+    def test_distributed_backward_matches_single_machine(self, rng):
+        full = rng.standard_normal((30, 4)).astype(np.float32)
+        reference = nn.BatchNorm1d(4)
+        x_ref = Tensor(full, requires_grad=True)
+        (reference(x_ref) ** 2).sum().backward()
+
+        def worker(rank, comm):
+            bn = nn.DistributedBatchNorm(4, comm=comm)
+            bn.load_state_dict(reference.state_dict())
+            x = Tensor(full[rank * 15:(rank + 1) * 15], requires_grad=True)
+            (bn(x) ** 2).sum().backward()
+            comm.barrier()
+            return x.grad, bn.gamma.grad
+
+        result = run_distributed(worker, 2)
+        grads = np.concatenate([r[0] for r in result.results], axis=0)
+        np.testing.assert_allclose(grads, x_ref.grad, atol=1e-4)
+        gamma_grad = result.results[0][1] + result.results[1][1]
+        np.testing.assert_allclose(gamma_grad, reference.gamma.grad, atol=1e-3)

@@ -1,0 +1,196 @@
+"""Tests for the partitioner, partition book, and shard construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import stochastic_block_model, star_graph
+from repro.partition import (
+    PartitionBook,
+    balance_ratio,
+    create_shards,
+    create_hetero_shards,
+    edge_cut,
+    partition_graph,
+    partition_sizes,
+)
+from repro.graph.hetero import HeteroGraph
+
+
+class TestPartitioner:
+    def test_assignment_covers_all_partitions(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 4)
+        assert set(np.unique(assignment)) == {0, 1, 2, 3}
+
+    def test_balance_within_tolerance(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 4)
+        assert balance_ratio(assignment, 4) <= 1.15
+
+    def test_metis_like_beats_random_on_edge_cut(self, sbm_graph):
+        good = partition_graph(sbm_graph, 3, method="metis", seed=0)
+        bad = partition_graph(sbm_graph, 3, method="random", seed=0)
+        assert edge_cut(sbm_graph, good) < edge_cut(sbm_graph, bad)
+
+    def test_contiguous_on_block_ordered_graph(self, sbm_graph):
+        # SBM node ids are grouped by block, so contiguous ranges cut few edges.
+        contiguous = partition_graph(sbm_graph, 3, method="contiguous")
+        random = partition_graph(sbm_graph, 3, method="random", seed=1)
+        assert edge_cut(sbm_graph, contiguous) < edge_cut(sbm_graph, random)
+
+    def test_single_partition(self, tiny_graph):
+        assignment = partition_graph(tiny_graph, 1)
+        assert edge_cut(tiny_graph, assignment) == 0
+
+    def test_more_parts_than_nodes_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            partition_graph(tiny_graph, 100)
+
+    def test_unknown_method_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            partition_graph(tiny_graph, 2, method="bogus")
+
+    def test_star_graph_stays_balanced(self):
+        g = star_graph(40)
+        assignment = partition_graph(g, 4)
+        sizes = partition_sizes(assignment, 4)
+        assert sizes.min() >= 1
+        assert balance_ratio(assignment, 4) <= 1.3
+
+    def test_deterministic_given_seed(self, sbm_graph):
+        a1 = partition_graph(sbm_graph, 4, seed=3)
+        a2 = partition_graph(sbm_graph, 4, seed=3)
+        np.testing.assert_array_equal(a1, a2)
+
+    @given(st.integers(2, 6), st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_every_partition_nonempty_property(self, num_parts, seed):
+        graph, _ = stochastic_block_model([30, 30, 30], 0.1, 0.02, seed=seed)
+        assignment = partition_graph(graph, num_parts, seed=seed)
+        sizes = partition_sizes(assignment, num_parts)
+        assert sizes.min() >= 1
+        assert sizes.sum() == graph.num_nodes
+
+
+class TestPartitionBook:
+    def test_roundtrip_global_local(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 4)
+        book = PartitionBook(assignment, 4)
+        global_ids = np.arange(sbm_graph.num_nodes)
+        parts, locals_ = book.to_local(global_ids)
+        for p in range(4):
+            nodes = global_ids[parts == p]
+            back = book.to_global(p, locals_[parts == p])
+            np.testing.assert_array_equal(back, nodes)
+
+    def test_partition_sizes_match_assignment(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 3)
+        book = PartitionBook(assignment, 3)
+        np.testing.assert_array_equal(book.partition_sizes(),
+                                      partition_sizes(assignment, 3))
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionBook(np.zeros(10, dtype=np.int64), 2)
+
+    def test_scatter_to_global_roundtrip(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 4)
+        book = PartitionBook(assignment, 4)
+        values = np.random.randn(sbm_graph.num_nodes, 3).astype(np.float32)
+        pieces = [values[book.nodes_of(p)] for p in range(4)]
+        np.testing.assert_array_equal(book.scatter_to_global(pieces), values)
+
+    def test_scatter_validates_shapes(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 2)
+        book = PartitionBook(assignment, 2)
+        with pytest.raises(ValueError):
+            book.scatter_to_global([np.zeros((1, 2))])
+        with pytest.raises(ValueError):
+            book.scatter_to_global([np.zeros((1, 2)), np.zeros((1, 2))])
+
+    def test_partition_of(self, sbm_graph):
+        assignment = partition_graph(sbm_graph, 3)
+        book = PartitionBook(assignment, 3)
+        ids = np.array([0, 5, 10])
+        np.testing.assert_array_equal(book.partition_of(ids), assignment[ids])
+
+
+class TestShards:
+    def _shards(self, graph, num_parts=4):
+        assignment = partition_graph(graph, num_parts, seed=0)
+        book = PartitionBook(assignment, num_parts)
+        return book, create_shards(graph, book)
+
+    def test_every_edge_appears_in_exactly_one_block(self, sbm_graph):
+        book, shards = self._shards(sbm_graph)
+        total = sum(block.num_edges for shard in shards for block in shard.blocks)
+        assert total == sbm_graph.num_edges
+
+    def test_block_indices_within_bounds(self, sbm_graph):
+        book, shards = self._shards(sbm_graph)
+        for shard in shards:
+            for q, block in enumerate(shard.blocks):
+                if block.num_edges == 0:
+                    continue
+                assert block.dst_local.max() < shard.num_local_nodes
+                assert block.src_index.max() < block.num_required_src
+                assert block.required_src_local.max() < book.partition_sizes()[q]
+
+    def test_local_in_degrees_match_graph(self, sbm_graph):
+        book, shards = self._shards(sbm_graph)
+        degrees = sbm_graph.in_degrees()
+        for shard in shards:
+            np.testing.assert_array_equal(shard.local_in_degrees,
+                                          degrees[shard.global_node_ids])
+
+    def test_aggregation_matrix_matches_global(self, sbm_graph):
+        """Summing block aggregations reproduces the full-graph aggregation."""
+        book, shards = self._shards(sbm_graph)
+        x = np.random.randn(sbm_graph.num_nodes, 5).astype(np.float32)
+        expected = sbm_graph.adjacency() @ x
+        for shard in shards:
+            acc = np.zeros((shard.num_local_nodes, 5), dtype=np.float32)
+            for q, block in enumerate(shard.blocks):
+                if block.num_edges == 0:
+                    continue
+                remote = x[book.nodes_of(q)][block.required_src_local]
+                acc += block.aggregation_matrix() @ remote
+            np.testing.assert_allclose(acc, expected[shard.global_node_ids],
+                                       rtol=1e-4, atol=1e-4)
+
+    def test_halo_size_counts_remote_rows_only(self, sbm_graph):
+        book, shards = self._shards(sbm_graph)
+        for shard in shards:
+            manual = sum(b.num_required_src for q, b in enumerate(shard.blocks)
+                         if q != shard.rank)
+            assert shard.halo_size == manual
+
+    def test_node_data_sliced_per_partition(self, sbm_graph):
+        sbm_graph.set_ndata("feat", np.arange(sbm_graph.num_nodes * 2).reshape(-1, 2))
+        book, shards = self._shards(sbm_graph)
+        for shard in shards:
+            np.testing.assert_array_equal(
+                shard.node_data["feat"], sbm_graph.ndata["feat"][shard.global_node_ids]
+            )
+
+    def test_weighted_matrix_validation(self, sbm_graph):
+        _, shards = self._shards(sbm_graph)
+        block = shards[0].local_block
+        with pytest.raises(ValueError):
+            block.weighted_matrix(np.ones(block.num_edges + 1))
+
+    def test_hetero_shards_preserve_relation_edges(self):
+        relations = {
+            "a": (np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0])),
+            "b": (np.array([4, 5]), np.array([0, 1])),
+        }
+        hg = HeteroGraph(6, relations)
+        assignment = np.array([0, 0, 1, 1, 2, 2])
+        book = PartitionBook(assignment, 3)
+        shards = create_hetero_shards(hg, book)
+        for relation, (src, _) in relations.items():
+            total = sum(
+                blocks.num_edges
+                for shard in shards
+                for blocks in shard.relation_blocks[relation]
+            )
+            assert total == len(src)

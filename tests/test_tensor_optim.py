@@ -1,0 +1,184 @@
+"""Tests for optimizers, learning-rate schedules, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, init
+from repro.tensor.optim import SGD, Adam, CosineDecay, ExponentialDecay, StepDecay
+from repro.utils.seed import set_seed
+
+
+def _quadratic_problem():
+    """Minimise ||w - target||^2; any sane optimizer converges quickly."""
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    w = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+
+    def loss_fn():
+        diff = w - Tensor(target)
+        return (diff * diff).sum()
+
+    return w, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w, target, loss_fn = _quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        w1, target, loss1 = _quadratic_problem()
+        w2, _, loss2 = _quadratic_problem()
+        plain = SGD([w1], lr=0.01)
+        momentum = SGD([w2], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for opt, fn in ((plain, loss1), (momentum, loss2)):
+                loss = fn()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert np.linalg.norm(w2.data - target) < np.linalg.norm(w1.data - target)
+
+    def test_weight_decay_shrinks_parameters(self):
+        w = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(4, dtype=np.float32)
+        opt.step()
+        assert np.all(np.abs(w.data) < 1.0)
+
+    def test_skips_parameters_without_grad(self):
+        w = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        opt = SGD([w], lr=0.5)
+        opt.step()
+        np.testing.assert_allclose(w.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w, target, loss_fn = _quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_state_dict_roundtrip(self):
+        w, _, loss_fn = _quadratic_problem()
+        opt = Adam([w], lr=0.05)
+        for _ in range(5):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        state = opt.state_dict()
+        snapshot = w.data.copy()
+        loss = loss_fn()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        after_one_more = w.data.copy()
+        # restore and repeat: the trajectory must be identical
+        w.data[...] = snapshot
+        opt.load_state_dict(state)
+        loss = loss_fn()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_allclose(w.data, after_one_more, rtol=1e-6)
+
+    def test_invalid_hyperparameters_raise(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([w], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([w], betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=-0.5)
+
+    def test_requires_grad_validation(self):
+        with pytest.raises(TypeError):
+            Adam([Tensor(np.ones(2))], lr=0.1)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Tensor(np.ones(2), requires_grad=True)], lr=1.0)
+
+    def test_step_decay(self):
+        opt = self._optimizer()
+        sched = StepDecay(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_exponential_decay(self):
+        opt = self._optimizer()
+        sched = ExponentialDecay(opt, gamma=0.9)
+        sched.step()
+        assert np.isclose(opt.lr, 0.9)
+
+    def test_cosine_decay_endpoints(self):
+        opt = self._optimizer()
+        sched = CosineDecay(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert np.isclose(last, 0.1, atol=1e-6)
+        assert opt.lr <= 1.0
+
+    def test_invalid_scheduler_args(self):
+        opt = self._optimizer()
+        with pytest.raises(ValueError):
+            StepDecay(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=0)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        set_seed(0)
+        w = init.xavier_uniform((100, 50))
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit + 1e-6)
+
+    def test_xavier_normal_std(self):
+        set_seed(0)
+        w = init.xavier_normal((200, 100))
+        expected_std = np.sqrt(2.0 / 300)
+        assert abs(w.std() - expected_std) < 0.2 * expected_std
+
+    def test_kaiming_uniform_scales_with_fan_in(self):
+        set_seed(0)
+        small = init.kaiming_uniform((10, 10))
+        large = init.kaiming_uniform((1000, 10))
+        assert np.abs(large).max() < np.abs(small).max()
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_uniform_and_normal_ranges(self):
+        set_seed(0)
+        u = init.uniform((1000,), low=-0.2, high=0.2)
+        assert np.all((u >= -0.2) & (u < 0.2))
+        n = init.normal((1000,), std=0.05)
+        assert abs(n.std() - 0.05) < 0.01
+
+    def test_seed_reproducibility(self):
+        set_seed(42)
+        first = init.xavier_uniform((5, 5))
+        set_seed(42)
+        second = init.xavier_uniform((5, 5))
+        np.testing.assert_array_equal(first, second)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())
