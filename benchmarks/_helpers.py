@@ -15,7 +15,12 @@ from typing import Callable, Dict, List, Optional
 
 
 from repro.core import SARConfig
-from repro.distributed import ClusterSpec, PAPER_LIKE_SPEC, epoch_cost
+from repro.distributed import (
+    ClusterSpec,
+    PAPER_LIKE_SPEC,
+    PREFETCH_OVERLAP_TAGS,
+    epoch_cost,
+)
 from repro.training import DistributedTrainer, TrainingConfig
 from repro.utils.seed import set_seed
 
@@ -52,18 +57,24 @@ def run_scaling_point(dataset, model_factory: Callable, *, num_workers: int,
                       mode: str, label: str, num_epochs: int = 2,
                       spec: ClusterSpec = PAPER_LIKE_SPEC,
                       training_config: Optional[TrainingConfig] = None,
-                      seed: int = 0) -> ScalingRow:
-    """Train for a few epochs on a simulated cluster and summarize the cost."""
+                      seed: int = 0, prefetch: bool = False) -> ScalingRow:
+    """Train for a few epochs on a simulated cluster and summarize the cost.
+
+    ``prefetch=True`` enables the engine's background-fetch pipeline and lets
+    the cost model hide halo/re-fetch transfer time behind compute
+    (``PREFETCH_OVERLAP_TAGS``).
+    """
     set_seed(seed)
     config = training_config or TrainingConfig(num_epochs=num_epochs, eval_every=0,
                                                lr_schedule="none")
     trainer = DistributedTrainer(
         dataset, model_factory, num_workers=num_workers,
-        sar_config=SARConfig(mode=mode), config=config, partition_seed=seed,
-        timeout_s=1200.0,
+        sar_config=SARConfig(mode=mode, prefetch=prefetch), config=config,
+        partition_seed=seed, timeout_s=1200.0,
     )
     result = trainer.run()
-    report = epoch_cost(result.cluster, spec, num_epochs=config.num_epochs)
+    report = epoch_cost(result.cluster, spec, num_epochs=config.num_epochs,
+                        overlap_tags=PREFETCH_OVERLAP_TAGS if prefetch else None)
     comm_mb = result.cluster.total_bytes_communicated / config.num_epochs / 2 ** 20
     return ScalingRow(
         label=label,

@@ -1,10 +1,12 @@
 """Memory scaling with the number of workers (the paper's headline property).
 
 Partitions ogbn-papers-mini over an increasing number of workers and trains a
-GAT for one epoch under SAR and vanilla domain-parallel execution, printing
-the peak live tensor bytes per worker.  SAR's peak shrinks roughly linearly in
-the number of workers (the 2/N resident-partition bound), while vanilla DP's
-halo plus per-edge attention tensors shrink much more slowly.
+GAT for one epoch under SAR (with and without the prefetch pipeline) and
+vanilla domain-parallel execution, printing the peak live tensor bytes per
+worker.  SAR's peak shrinks roughly linearly in the number of workers (the
+2/N resident-partition bound; 3/N with prefetching, which keeps one extra
+remote block in flight), while vanilla DP's halo plus per-edge attention
+tensors shrink much more slowly.
 
 Run with:  python examples/memory_scaling.py
 """
@@ -20,14 +22,15 @@ from repro.utils.seed import set_seed
 WORKER_COUNTS = (4, 8, 16)
 
 
-def peak_memory(dataset, mode: str, workers: int) -> float:
+def peak_memory(dataset, mode: str, workers: int, prefetch: bool = False) -> float:
     set_seed(0)
 
     def factory(in_features: int) -> nn.Module:
         return nn.GATNet(in_features, 16, dataset.num_classes, num_heads=4, dropout=0.0)
 
     trainer = DistributedTrainer(
-        dataset, factory, num_workers=workers, sar_config=SARConfig(mode=mode),
+        dataset, factory, num_workers=workers,
+        sar_config=SARConfig(mode=mode, prefetch=prefetch),
         config=TrainingConfig(num_epochs=1, eval_every=0),
     )
     return max(trainer.run().cluster.peak_memory_mb)
@@ -36,11 +39,13 @@ def peak_memory(dataset, mode: str, workers: int) -> float:
 def main() -> None:
     dataset = ogbn_papers_mini(scale=0.4)
     print(f"3-layer / 4-head GAT on {dataset.name} ({dataset.num_nodes} nodes)")
-    print(f"{'workers':>8} {'SAR peak MB':>12} {'DP peak MB':>12} {'DP / SAR':>9}")
+    print(f"{'workers':>8} {'SAR peak MB':>12} {'+prefetch MB':>13} {'DP peak MB':>12} "
+          f"{'DP / SAR':>9}")
     for workers in WORKER_COUNTS:
         sar = peak_memory(dataset, "sar", workers)
+        pf = peak_memory(dataset, "sar", workers, prefetch=True)
         dp = peak_memory(dataset, "dp", workers)
-        print(f"{workers:>8d} {sar:>12.2f} {dp:>12.2f} {dp / sar:>9.2f}x")
+        print(f"{workers:>8d} {sar:>12.2f} {pf:>13.2f} {dp:>12.2f} {dp / sar:>9.2f}x")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,14 @@ The package is organized as:
 * :mod:`repro.partition`    — balanced k-way partitioning, partition book, per-worker shards
 * :mod:`repro.distributed`  — simulated cluster runtime, communicator, cost model
 * :mod:`repro.nn`           — GNN layers (GraphSage, GAT, fused-attention GAT, R-GCN) and models
-* :mod:`repro.core`         — SAR itself: distributed graph handles, sequential aggregation,
-                              rematerialized backward passes, gradient synchronization
+* :mod:`repro.core`         — SAR itself: the sequential-aggregation engine with pluggable
+                              block kernels, distributed graph handles, rematerialized
+                              backward passes, gradient synchronization
 * :mod:`repro.datasets`     — synthetic stand-ins for ogbn-products / papers100M / mag
 * :mod:`repro.training`     — full-batch trainers, label augmentation, Correct & Smooth
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from repro import tensor
 from repro import graph

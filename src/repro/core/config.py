@@ -16,10 +16,12 @@ training; :class:`SARConfig` selects between them:
 The fused-attention-kernel choice (SAR+FAK) is orthogonal and selected by
 building the model from :class:`~repro.nn.gat_fused.FusedGATConv` layers.
 
-``prefetch=True`` models the practical optimization of §3.4: the next remote
-partition is fetched while the current one is still being aggregated, which
-raises the bound on resident partitions from 2 to 3 (memory scales as 3/N
-instead of 2/N) in exchange for overlapping communication with compute.
+``prefetch=True`` enables the practical optimization of §3.4: the engine
+issues the next remote block's fetch on a background thread while the current
+block is being aggregated, overlapping communication with compute.  This
+raises the bound on resident partitions from 2 to 3 — the local partition
+plus at most two remote halo blocks (the one computing and the one in
+flight), i.e. memory scales as 3/N instead of 2/N.
 """
 
 from __future__ import annotations
@@ -34,6 +36,9 @@ class SARConfig:
     """Execution-mode configuration shared by all distributed aggregation ops."""
 
     mode: str = "sar"
+    #: Overlap the next block's halo fetch (and case-2 backward re-fetch)
+    #: with the current block's compute on a background thread; keeps at most
+    #: two remote blocks resident instead of one (§3.4).
     prefetch: bool = False
     #: Use the numerically stable running softmax (§3.4).  Disabling it is only
     #: meant for the ablation benchmark that demonstrates why it is needed.

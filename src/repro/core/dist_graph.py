@@ -13,6 +13,9 @@ Each handle owns:
   the ``G_{p,q}`` edge blocks, local slices of node data),
 * the communicator,
 * the :class:`~repro.core.config.SARConfig` execution mode,
+* a shared :class:`~repro.core.seq_agg.SequentialAggregationEngine` that all
+  of the handle's aggregation ops (SAGE sum/mean/max/min, GAT, R-GCN) run
+  through,
 * the one-time halo routing information, and
 * a per-step operation counter that generates identical publish/fetch keys on
   every worker (the models are replicas, so the op sequence is identical).
@@ -25,10 +28,11 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.config import SARConfig, SAR
-from repro.core.gat_dist import distributed_gat_aggregate
+from repro.core.gat_dist import GATKernel
 from repro.core.halo import HaloExchange
-from repro.core.rgcn_dist import distributed_rgcn_aggregate
-from repro.core.sage_dist import distributed_neighbor_aggregate
+from repro.core.rgcn_dist import RGCNKernel
+from repro.core.sage_dist import make_neighbor_kernel
+from repro.core.seq_agg import SequentialAggregationEngine
 from repro.distributed.comm import Communicator
 from repro.partition.shard import ShardedGraph, ShardedHeteroGraph
 from repro.tensor.tensor import Tensor
@@ -40,6 +44,10 @@ class _DistributedGraphBase:
     def __init__(self, comm: Communicator, config: SARConfig):
         self.comm = comm
         self.config = config
+        #: the sequential-aggregation engine every layer's aggregation runs
+        #: through; owns block scheduling, retention, prefetch, and the error
+        #: exchange for all kernels.
+        self.engine = SequentialAggregationEngine(comm, config)
         self._step = 0
         self._op_counter = 0
 
@@ -107,19 +115,22 @@ class DistributedGraph(_DistributedGraphBase):
 
     # -- aggregation entry points (called by the nn layers) -------------- #
     def aggregate_neighbors(self, z: Tensor, op: str = "mean") -> Tensor:
-        """Sum/mean aggregation over the full (distributed) neighbourhood (case 1)."""
-        return distributed_neighbor_aggregate(
-            z, self.shard, self.comm, self.halo, self.config,
-            self._next_key("sage"), op=op,
-        )
+        """Neighbour aggregation over the full (distributed) neighbourhood.
+
+        ``op`` is ``"sum"``/``"mean"`` (linear, SAR case 1) or ``"max"``/
+        ``"min"`` (pooling, SAR case 2: the backward pass re-fetches remote
+        features to locate the extremal sources).
+        """
+        kernel = make_neighbor_kernel(z, self.shard, self.halo, op)
+        return self.engine.aggregate(kernel, self._next_key("sage"), z)
 
     def gat_aggregate(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
                       negative_slope: float = 0.2, fused: bool = False) -> Tensor:
         """Attention aggregation over the full (distributed) neighbourhood (case 2)."""
-        return distributed_gat_aggregate(
-            z, score_dst, score_src, self.shard, self.comm, self.halo, self.config,
-            self._next_key("gat"), negative_slope=negative_slope, fused=fused,
-        )
+        kernel = GATKernel(z, score_dst, score_src, self.shard, self.halo,
+                           self.config, negative_slope, fused)
+        return self.engine.aggregate(kernel, self._next_key("gat"),
+                                     z, score_dst, score_src)
 
     # -- non-learnable propagation (Correct & Smooth) --------------------- #
     def propagate(self, values: np.ndarray, normalization: str = "mean") -> np.ndarray:
@@ -232,7 +243,7 @@ class DistributedHeteroGraph(_DistributedGraphBase):
         missing = [r for r in relation_names if r not in self.shard.relation_blocks]
         if missing:
             raise KeyError(f"Relations {missing} are not present in this graph shard")
-        return distributed_rgcn_aggregate(
-            x, relation_weights, self.shard, self.comm, self.halos, self.config,
-            self._next_key("rgcn"), relation_names, in_features, out_features,
-        )
+        kernel = RGCNKernel(x, relation_weights, self.shard, self.halos,
+                            relation_names, in_features, out_features)
+        return self.engine.aggregate(kernel, self._next_key("rgcn"),
+                                     x, relation_weights)

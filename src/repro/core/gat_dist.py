@@ -7,8 +7,11 @@ by block — this is the ~50 % communication overhead over vanilla
 domain-parallel training discussed in the paper.  The forward pass aggregates
 sequentially with the numerically stable running softmax of §3.4.
 
-Execution modes (from :class:`~repro.core.config.SARConfig` plus the layer's
-kernel choice):
+:class:`GATKernel` plugs the attention math into the shared
+:class:`~repro.core.seq_agg.SequentialAggregationEngine`; the engine owns
+block ordering, halo retention, prefetching, the backward re-fetch, and the
+error exchange.  Execution modes (from :class:`~repro.core.config.SARConfig`
+plus the layer's kernel choice):
 
 * vanilla DP (``mode="dp"``): halo feature blocks *and* per-edge attention
   logits are wrapped in tensors and saved for the backward pass (the memory
@@ -23,26 +26,26 @@ kernel choice):
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.config import SARConfig
 from repro.core.halo import HaloExchange, pack_features, unpack_features
+from repro.core.seq_agg import (
+    BlockKernel,
+    KernelPass,
+    SequentialAggregationEngine,
+)
 from repro.core.stable_softmax import RunningSoftmaxAccumulator
-from repro.core.sage_dist import _block_order, _halo_retention
 from repro.distributed.comm import Communicator
 from repro.partition.shard import EdgeBlock, ShardedGraph
 from repro.tensor.sparse import segment_sum_np
-from repro.tensor.tensor import Function, Tensor
-
-_TINY = np.finfo(np.float32).tiny
+from repro.tensor.tensor import Tensor
 
 
 # --------------------------------------------------------------------------- #
-# per-block kernels
+# per-block logit kernels
 # --------------------------------------------------------------------------- #
 def _block_logits_standard(score_dst: np.ndarray, score_src_block: np.ndarray,
                            block: EdgeBlock, negative_slope: float
@@ -63,186 +66,152 @@ def _block_logits_fused(score_dst: np.ndarray, score_src_block: np.ndarray,
     return raw, np.where(raw > 0, raw, negative_slope * raw)
 
 
-def _weighted_block_aggregate(block: EdgeBlock, weights: np.ndarray, values: np.ndarray,
-                              num_dst: int) -> np.ndarray:
-    """``out[d] += Σ_e w_e · values[src_e]`` for one block (per attention head)."""
-    heads, dim = values.shape[1], values.shape[2]
-    out = np.empty((num_dst, heads, dim), dtype=values.dtype)
-    for h in range(heads):
-        adj = sp.csr_matrix(
-            (weights[:, h], (block.dst_local, block.src_index)),
-            shape=(num_dst, values.shape[0]),
-        )
-        out[:, h, :] = adj @ values[:, h, :]
-    return out
-
-
-def _weighted_block_transpose(block: EdgeBlock, weights: np.ndarray, grad_out: np.ndarray,
-                              num_src: int) -> np.ndarray:
-    """``grad_src[s] += Σ_e w_e · grad_out[dst_e]`` for one block (per head)."""
-    heads, dim = grad_out.shape[1], grad_out.shape[2]
-    out = np.empty((num_src, heads, dim), dtype=grad_out.dtype)
-    for h in range(heads):
-        adj_t = sp.csr_matrix(
-            (weights[:, h], (block.src_index, block.dst_local)),
-            shape=(num_src, grad_out.shape[0]),
-        )
-        out[:, h, :] = adj_t @ grad_out[:, h, :]
-    return out
-
-
 # --------------------------------------------------------------------------- #
-# the distributed aggregation function
+# the engine kernel
 # --------------------------------------------------------------------------- #
-class DistributedGATAggregation(Function):
-    """Attention-weighted neighbour aggregation across graph partitions."""
+class GATKernel(BlockKernel):
+    """Attention-weighted neighbour aggregation across graph partitions.
 
-    def forward(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
-                shard: ShardedGraph, comm: Communicator, halo: HaloExchange,
-                config: SARConfig, key: str, negative_slope: float,
-                fused: bool) -> np.ndarray:
-        z_data, sd, ss = z.data, score_dst.data, score_src.data
+    The published payload packs ``(z, score_src)`` so peers fetch both in one
+    message — the "message is a 2-tuple" of the paper's Eq. 3.  Per-head
+    weighted aggregation reuses the edge blocks' cached CSR structure
+    (:meth:`~repro.partition.shard.EdgeBlock.weighted_matrix`), so the
+    backward pass no longer re-sorts a scipy matrix per block per head.
+    """
+
+    grad_class = "nonlinear"
+
+    def __init__(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
+                 shard: ShardedGraph, halo: HaloExchange, config: SARConfig,
+                 negative_slope: float, fused: bool):
+        super().__init__()
+        z_data = z.data
         if z_data.ndim != 3:
             raise ValueError(f"Expected z of shape (N, heads, dim), got {z_data.shape}")
-        num_local, heads, dim = z_data.shape
-        logits_fn = _block_logits_fused if fused else _block_logits_standard
+        self.z_data = z_data
+        self.sd = score_dst.data
+        self.ss = score_src.data
+        self.shard = shard
+        self.config = config
+        self.negative_slope = negative_slope
+        self.fused = fused
+        self.num_local, self.heads, self.dim = z_data.shape
+        self._logits_fn = _block_logits_fused if fused else _block_logits_standard
+        self._passes = [KernelPass(name="", blocks=shard.blocks, halo=halo)]
+        #: per-edge attention tensors kept alive in vanilla DP mode only
+        self._saved_logits: Dict[int, Tensor] = {}
 
-        # Publish the (features, attention score) tuple so peers can fetch both
-        # in one message — the "message is a 2-tuple" of the paper's Eq. 3.
-        comm.publish(f"{key}/zs", pack_features(z_data, ss))
+    # -- engine interface ------------------------------------------------ #
+    def payload(self) -> np.ndarray:
+        return pack_features(self.z_data, self.ss)
 
-        accumulator = RunningSoftmaxAccumulator(
-            num_local, heads, dim, dtype=z_data.dtype, stable=config.stable_softmax
+    def passes(self):
+        return self._passes
+
+    def _unpack(self, feats: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return unpack_features(feats, [(self.heads, self.dim), (self.heads,)])
+
+    def forward_init(self) -> None:
+        self._accumulator = RunningSoftmaxAccumulator(
+            self.num_local, self.heads, self.dim, dtype=self.z_data.dtype,
+            stable=self.config.stable_softmax,
         )
-        retention = _halo_retention(config)
-        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
-        saved_halos: List[Optional[Tensor]] = [None] * shard.num_parts
-        saved_logits: List[Optional[Tensor]] = [None] * shard.num_parts
 
-        for q in _block_order(shard.rank, shard.num_parts):
-            block = shard.blocks[q]
-            if block.num_edges == 0:
-                continue
-            if q == shard.rank:
-                z_q = z_data[block.required_src_local]
-                ss_q = ss[block.required_src_local]
-            else:
-                fetched = Tensor(
-                    comm.fetch(q, f"{key}/zs", rows=block.required_src_local,
-                               tag="forward_halo")
-                )
-                resident.append(fetched)
-                if config.is_domain_parallel:
-                    saved_halos[q] = fetched
-                z_q, ss_q = unpack_features(fetched.data, [(heads, dim), (heads,)])
-            raw, logits = logits_fn(sd, ss_q, block, negative_slope)
-            if config.is_domain_parallel:
-                # Vanilla DP materializes per-edge attention tensors in the graph.
-                saved_logits[q] = Tensor(logits if fused else np.stack([raw, logits]))
-            accumulator.add_block(
-                logits, z_q, block.dst_local,
-                lambda weights, _block=block, _z=z_q: _weighted_block_aggregate(
-                    _block, weights, _z, num_local
-                ),
-            )
-
-        out = accumulator.finalize()
-        running_max, denominator = accumulator.state()
-        self.save_for_backward(
-            shard, comm, halo, config, key, negative_slope, fused,
-            z_data.shape, sd, running_max, denominator, out,
-            saved_halos, saved_logits,
+    def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                      feats: np.ndarray) -> None:
+        z_q, ss_q = self._unpack(feats)
+        raw, logits = self._logits_fn(self.sd, ss_q, block, self.negative_slope)
+        if self.config.is_domain_parallel:
+            # Vanilla DP materializes per-edge attention tensors in the graph.
+            self._saved_logits[q] = Tensor(logits if self.fused else np.stack([raw, logits]))
+        self._accumulator.add_block(
+            logits, z_q, block.dst_local,
+            lambda weights, _block=block, _z=z_q: self._weighted_aggregate(
+                _block, weights, _z
+            ),
         )
-        return out
 
-    # ------------------------------------------------------------------ #
-    def backward(self, grad_out):
-        (shard, comm, halo, config, key, negative_slope, fused,
-         z_shape, sd, running_max, denominator, out,
-         saved_halos, saved_logits) = self.saved
-        num_local, heads, dim = z_shape
-        z_local = self.parents[0].data
-        ss_local = self.parents[2].data
-        logits_fn = _block_logits_fused if fused else _block_logits_standard
-        safe_max = np.where(np.isfinite(running_max), running_max, 0.0)
+    def forward_finalize(self) -> np.ndarray:
+        self.out = self._accumulator.finalize()
+        self.running_max, self.denominator = self._accumulator.state()
+        del self._accumulator
+        return self.out
 
+    def backward_init(self, grad_out: np.ndarray) -> None:
+        self._grad_out = grad_out
+        self._safe_max = np.where(np.isfinite(self.running_max), self.running_max, 0.0)
         # Softmax backward needs Σ_j α_j <z_j, grad_i> per destination node; by
         # linearity that equals <out_i, grad_i>, so no extra pass over edges.
-        weighted_sum = np.einsum("nhd,nhd->nh", out, grad_out)
+        self._weighted_sum = np.einsum("nhd,nhd->nh", self.out, grad_out)
+        # Errors for (z, score_src) travel packed, exactly like the payload,
+        # so the engine scatters one 2-D target per peer.
+        width = self.heads * self.dim + self.heads
+        self._grad_packed = np.zeros((self.num_local, width), dtype=grad_out.dtype)
+        self._grad_sd = np.zeros((self.num_local, self.heads), dtype=grad_out.dtype)
 
-        grad_z = np.zeros(z_shape, dtype=grad_out.dtype)
-        grad_sd = np.zeros((num_local, heads), dtype=grad_out.dtype)
-        grad_ss = np.zeros((num_local, heads), dtype=grad_out.dtype)
-        outgoing: Dict[int, np.ndarray] = {}
-
-        for q in _block_order(shard.rank, shard.num_parts):
-            block = shard.blocks[q]
-            if block.num_edges == 0:
-                continue
-            # ---- rematerialize the block inputs -------------------------- #
-            if q == shard.rank:
-                z_q = z_local[block.required_src_local]
-                ss_q = ss_local[block.required_src_local]
-            elif config.is_domain_parallel:
-                z_q, ss_q = unpack_features(saved_halos[q].data, [(heads, dim), (heads,)])
+    def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                       feats: Optional[np.ndarray]) -> np.ndarray:
+        z_q, ss_q = self._unpack(feats)
+        # ---- rematerialize the per-edge attention coefficients ----------- #
+        stored = self._saved_logits.get(q) if self.config.is_domain_parallel else None
+        if stored is not None:
+            if self.fused:
+                raw, logits = None, stored.data
             else:
-                # SAR case 2: re-fetch the remote features (the paper's ~50 %
-                # extra communication for attention-based models).
-                refetched = comm.fetch(q, f"{key}/zs", rows=block.required_src_local,
-                                       tag="backward_refetch")
-                z_q, ss_q = unpack_features(refetched, [(heads, dim), (heads,)])
-            # ---- rematerialize the per-edge attention coefficients ------- #
-            if config.is_domain_parallel and saved_logits[q] is not None:
-                stored = saved_logits[q].data
-                if fused:
-                    raw = None
-                    logits = stored
-                else:
-                    raw, logits = stored[0], stored[1]
-            else:
-                raw, logits = logits_fn(sd, ss_q, block, negative_slope)
-            weights = np.exp(logits - safe_max[block.dst_local])
-            alpha = weights / denominator[block.dst_local]
+                raw, logits = stored.data[0], stored.data[1]
+        else:
+            raw, logits = self._logits_fn(self.sd, ss_q, block, self.negative_slope)
+        weights = np.exp(logits - self._safe_max[block.dst_local])
+        alpha = weights / self.denominator[block.dst_local]
 
-            # ---- gradients ----------------------------------------------- #
-            grad_z_q = _weighted_block_transpose(block, alpha, grad_out, z_q.shape[0])
-            grad_alpha = np.einsum("ehd,ehd->eh", z_q[block.src_index],
-                                   grad_out[block.dst_local])
-            grad_logits = alpha * (grad_alpha - weighted_sum[block.dst_local])
-            if raw is None:
-                positive = logits > 0
-            else:
-                positive = raw > 0
-            grad_raw = np.where(positive, grad_logits, negative_slope * grad_logits)
-            grad_ss_q = segment_sum_np(grad_raw, block.src_index, z_q.shape[0])
-            grad_sd += segment_sum_np(grad_raw, block.dst_local, num_local)
+        # ---- gradients --------------------------------------------------- #
+        grad_z_q = self._weighted_transpose(block, alpha, self._grad_out)
+        grad_alpha = np.einsum("ehd,ehd->eh", z_q[block.src_index],
+                               self._grad_out[block.dst_local])
+        grad_logits = alpha * (grad_alpha - self._weighted_sum[block.dst_local])
+        positive = logits > 0 if raw is None else raw > 0
+        grad_raw = np.where(positive, grad_logits, self.negative_slope * grad_logits)
+        grad_ss_q = segment_sum_np(grad_raw, block.src_index, z_q.shape[0])
+        self._grad_sd += segment_sum_np(grad_raw, block.dst_local, self.num_local)
+        return pack_features(grad_z_q, grad_ss_q)
 
-            if q == shard.rank:
-                np.add.at(grad_z, block.required_src_local, grad_z_q)
-                np.add.at(grad_ss, block.required_src_local, grad_ss_q)
-            else:
-                outgoing[q] = pack_features(
-                    grad_z_q.astype(np.float32), grad_ss_q.astype(np.float32)
-                )
+    def error_target(self, p: KernelPass) -> np.ndarray:
+        return self._grad_packed
 
-        received = comm.exchange(f"{key}/err", outgoing, tag="backward_error")
-        for peer, packed in received.items():
-            if peer == shard.rank:
-                continue
-            rows = halo.rows_needed_by_peer.get(peer)
-            if rows is None or packed.size == 0:
-                continue
-            err_z, err_ss = unpack_features(packed, [(heads, dim), (heads,)])
-            np.add.at(grad_z, rows, err_z)
-            np.add.at(grad_ss, rows, err_ss)
-        return grad_z, grad_sd, grad_ss
+    def backward_finalize(self):
+        split = self.heads * self.dim
+        grad_z = self._grad_packed[:, :split].reshape(self.num_local, self.heads, self.dim)
+        grad_ss = self._grad_packed[:, split:]
+        return grad_z, self._grad_sd, grad_ss
+
+    # -- per-head weighted SpMM over the block's cached CSR structure ----- #
+    def _weighted_aggregate(self, block: EdgeBlock, weights: np.ndarray,
+                            values: np.ndarray) -> np.ndarray:
+        """``out[d] += Σ_e w_e · values[src_e]`` for one block (per head)."""
+        out = np.empty((self.num_local, self.heads, self.dim), dtype=values.dtype)
+        for h in range(self.heads):
+            out[:, h, :] = block.weighted_matrix(weights[:, h]) @ values[:, h, :]
+        return out
+
+    def _weighted_transpose(self, block: EdgeBlock, weights: np.ndarray,
+                            grad_out: np.ndarray) -> np.ndarray:
+        """``grad_src[s] += Σ_e w_e · grad_out[dst_e]`` for one block (per head)."""
+        out = np.empty((block.num_required_src, self.heads, self.dim),
+                       dtype=grad_out.dtype)
+        for h in range(self.heads):
+            out[:, h, :] = block.weighted_matrix(weights[:, h], transpose=True) \
+                @ grad_out[:, h, :]
+        return out
 
 
 def distributed_gat_aggregate(z: Tensor, score_dst: Tensor, score_src: Tensor,
                               shard: ShardedGraph, comm: Communicator, halo: HaloExchange,
                               config: SARConfig, key: str, negative_slope: float = 0.2,
-                              fused: bool = False) -> Tensor:
+                              fused: bool = False,
+                              engine: Optional[SequentialAggregationEngine] = None
+                              ) -> Tensor:
     """Functional wrapper used by :class:`repro.core.dist_graph.DistributedGraph`."""
-    return DistributedGATAggregation.apply(
-        z, score_dst, score_src, shard, comm, halo, config, key, negative_slope, fused
-    )
+    engine = engine or SequentialAggregationEngine(comm, config)
+    kernel = GATKernel(z, score_dst, score_src, shard, halo, config,
+                       negative_slope, fused)
+    return engine.aggregate(kernel, key, z, score_dst, score_src)

@@ -5,30 +5,41 @@ to neighbour features inside the aggregation, so backpropagating to ``W_r``
 requires the neighbour feature values.  As with GAT, SAR therefore re-fetches
 remote features during the backward pass, while vanilla domain-parallel
 training keeps every fetched halo block alive from the forward pass instead.
+
+:class:`RGCNKernel` expresses this over the shared
+:class:`~repro.core.seq_agg.SequentialAggregationEngine` as one engine *pass*
+per relation: every relation has its own edge-block grid, halo routing, and
+error exchange, while the features are published once and shared by all
+passes.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import SARConfig
 from repro.core.halo import HaloExchange
-from repro.core.sage_dist import _block_order, _halo_retention
+from repro.core.seq_agg import (
+    BlockKernel,
+    KernelPass,
+    SequentialAggregationEngine,
+)
 from repro.distributed.comm import Communicator
-from repro.partition.shard import ShardedHeteroGraph
-from repro.tensor.tensor import Function, Tensor
+from repro.partition.shard import EdgeBlock, ShardedHeteroGraph
+from repro.tensor.tensor import Tensor
 
 
-class DistributedRelationalAggregation(Function):
+class RGCNKernel(BlockKernel):
     """``out[i] = Σ_r (1/|N_r(i)|) Σ_{j ∈ N_r(i)} W_r x_j`` across partitions."""
 
-    def forward(self, x: Tensor, relation_weights: Tensor, shard: ShardedHeteroGraph,
-                comm: Communicator, halos: Dict[str, HaloExchange], config: SARConfig,
-                key: str, relation_names: Sequence[str], in_features: int,
-                out_features: int) -> np.ndarray:
+    grad_class = "nonlinear"
+
+    def __init__(self, x: Tensor, relation_weights: Tensor, shard: ShardedHeteroGraph,
+                 halos: Dict[str, HaloExchange], relation_names: Sequence[str],
+                 in_features: int, out_features: int):
+        super().__init__()
         data = x.data
         if data.shape[1] != in_features:
             raise ValueError(
@@ -40,91 +51,78 @@ class DistributedRelationalAggregation(Function):
                 "relation_weights must have shape (num_relations, in_features * out_features), "
                 f"got {weights.shape}"
             )
-        num_local = shard.num_local_nodes
-        comm.publish(f"{key}/x", data)
+        self.data = data
+        self.weights = weights
+        self.shard = shard
+        self.in_features = in_features
+        self.out_features = out_features
+        self._passes = [
+            KernelPass(name=relation, blocks=shard.relation_blocks[relation],
+                       halo=halos[relation], index=r_index)
+            for r_index, relation in enumerate(relation_names)
+        ]
 
-        retention = _halo_retention(config)
-        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
-        saved_halos: Dict[str, List[Optional[Tensor]]] = {
-            rel: [None] * shard.num_parts for rel in relation_names
-        }
-        acc = np.zeros((num_local, out_features), dtype=data.dtype)
+    # -- engine interface ------------------------------------------------ #
+    def payload(self) -> np.ndarray:
+        return self.data
 
-        for r_index, relation in enumerate(relation_names):
-            w_r = weights[r_index].reshape(in_features, out_features)
-            blocks = shard.relation_blocks[relation]
-            degrees = np.maximum(shard.relation_in_degrees[relation], 1).astype(data.dtype)
-            relation_acc = np.zeros((num_local, out_features), dtype=data.dtype)
-            for q in _block_order(shard.rank, shard.num_parts):
-                block = blocks[q]
-                if block.num_edges == 0:
-                    continue
-                if q == shard.rank:
-                    x_q = data[block.required_src_local]
-                else:
-                    fetched = Tensor(
-                        comm.fetch(q, f"{key}/x", rows=block.required_src_local,
-                                   tag="forward_halo")
-                    )
-                    resident.append(fetched)
-                    if config.is_domain_parallel:
-                        saved_halos[relation][q] = fetched
-                    x_q = fetched.data
-                relation_acc += block.aggregation_matrix() @ (x_q @ w_r)
-            acc += relation_acc / degrees[:, None]
+    def passes(self):
+        return self._passes
 
-        self.save_for_backward(shard, comm, halos, config, key, list(relation_names),
-                               in_features, out_features, data.shape, weights.shape,
-                               saved_halos)
-        return acc
+    def forward_init(self) -> None:
+        self._acc = np.zeros((self.shard.num_local_nodes, self.out_features),
+                             dtype=self.data.dtype)
 
-    # ------------------------------------------------------------------ #
-    def backward(self, grad_out):
-        (shard, comm, halos, config, key, relation_names, in_features, out_features,
-         x_shape, weights_shape, saved_halos) = self.saved
-        x_local = self.parents[0].data
-        weights = self.parents[1].data
-        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
-        grad_weights = np.zeros(weights_shape, dtype=np.float32)
+    def begin_pass(self, p: KernelPass, backward: bool) -> None:
+        self._w_r = self.weights[p.index].reshape(self.in_features, self.out_features)
+        degrees = np.maximum(self.shard.relation_in_degrees[p.name], 1)
+        if backward:
+            self._grad_scaled = self._grad_out / degrees.astype(self._grad_out.dtype)[:, None]
+        else:
+            self._degrees = degrees.astype(self.data.dtype)
+            self._relation_acc = np.zeros_like(self._acc)
 
-        for r_index, relation in enumerate(relation_names):
-            w_r = weights[r_index].reshape(in_features, out_features)
-            blocks = shard.relation_blocks[relation]
-            degrees = np.maximum(shard.relation_in_degrees[relation], 1).astype(grad_out.dtype)
-            grad_scaled = grad_out / degrees[:, None]
-            outgoing: Dict[int, np.ndarray] = {}
-            for q in _block_order(shard.rank, shard.num_parts):
-                block = blocks[q]
-                if block.num_edges == 0:
-                    continue
-                # ---- rematerialize the block's input features ------------ #
-                if q == shard.rank:
-                    x_q = x_local[block.required_src_local]
-                elif config.is_domain_parallel:
-                    x_q = saved_halos[relation][q].data
-                else:
-                    # SAR case 2: re-fetch remote features to evaluate dW_r.
-                    x_q = comm.fetch(q, f"{key}/x", rows=block.required_src_local,
-                                     tag="backward_refetch")
-                grad_z = block.aggregation_matrix(transpose=True) @ grad_scaled
-                grad_weights[r_index] += (x_q.T @ grad_z).reshape(-1)
-                grad_x_q = grad_z @ w_r.T
-                if q == shard.rank:
-                    np.add.at(grad_x, block.required_src_local, grad_x_q)
-                else:
-                    outgoing[q] = grad_x_q.astype(np.float32)
-            received = comm.exchange(f"{key}/{relation}/err", outgoing, tag="backward_error")
-            halos[relation].scatter_add_errors(grad_x, received)
-        return grad_x, grad_weights
+    def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                      feats: np.ndarray) -> None:
+        self._relation_acc += block.aggregation_matrix() @ (feats @ self._w_r)
+
+    def end_pass(self, p: KernelPass, backward: bool) -> None:
+        if not backward:
+            self._acc += self._relation_acc / self._degrees[:, None]
+
+    def forward_finalize(self) -> np.ndarray:
+        out = self._acc
+        del self._acc, self._relation_acc, self._degrees
+        return out
+
+    def backward_init(self, grad_out: np.ndarray) -> None:
+        self._grad_out = grad_out
+        self._grad_x = np.zeros(self.data.shape, dtype=grad_out.dtype)
+        self._grad_weights = np.zeros(self.weights.shape, dtype=np.float32)
+
+    def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                       feats: Optional[np.ndarray]) -> np.ndarray:
+        grad_z = block.aggregation_matrix(transpose=True) @ self._grad_scaled
+        # dW_r needs the (possibly re-fetched) neighbour feature values.
+        self._grad_weights[p.index] += (feats.T @ grad_z).reshape(-1)
+        return grad_z @ self._w_r.T
+
+    def error_target(self, p: KernelPass) -> np.ndarray:
+        return self._grad_x
+
+    def backward_finalize(self):
+        return self._grad_x, self._grad_weights
 
 
 def distributed_rgcn_aggregate(x: Tensor, relation_weights: Tensor,
                                shard: ShardedHeteroGraph, comm: Communicator,
                                halos: Dict[str, HaloExchange], config: SARConfig, key: str,
                                relation_names: Sequence[str], in_features: int,
-                               out_features: int) -> Tensor:
+                               out_features: int,
+                               engine: Optional[SequentialAggregationEngine] = None
+                               ) -> Tensor:
     """Functional wrapper used by :class:`repro.core.dist_graph.DistributedHeteroGraph`."""
-    return DistributedRelationalAggregation.apply(
-        x, relation_weights, shard, comm, halos, config, key, relation_names,
-        in_features, out_features,
-    )
+    engine = engine or SequentialAggregationEngine(comm, config)
+    kernel = RGCNKernel(x, relation_weights, shard, halos, relation_names,
+                        in_features, out_features)
+    return engine.aggregate(kernel, key, x, relation_weights)

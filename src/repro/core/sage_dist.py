@@ -1,115 +1,188 @@
-"""Distributed sum/mean neighbour aggregation — SAR "case 1" (paper §3.2).
+"""GraphSage-style neighbour aggregation kernels (paper §3.2).
 
-For GraphSage-style aggregation the gradient of the aggregator output with
-respect to its inputs does not depend on the input values (the aggregation is
-linear), so SAR needs **no** re-fetch of remote features during the backward
-pass: the error for remote features is computed locally and sent straight to
-its owner.  Consequently SAR and vanilla domain-parallel training communicate
-exactly the same volume for these layers — the only difference is that
-vanilla DP keeps every fetched halo block alive in the computational graph
-until the backward pass, while SAR discards each block right after it has
-been folded into the accumulator.
+Two kernels over the shared :class:`~repro.core.seq_agg.SequentialAggregationEngine`:
+
+* :class:`SumMeanKernel` — SAR "case 1": the aggregation is linear, so the
+  gradient of the output w.r.t. the inputs does not depend on the input
+  values and SAR needs **no** re-fetch of remote features during the backward
+  pass; the error for remote features is computed locally and sent straight
+  to its owner.  SAR and vanilla domain-parallel training therefore
+  communicate exactly the same volume for these layers.
+* :class:`PoolingKernel` — element-wise max/min pooling (the GraphSage
+  pooling aggregators).  Which source attains the extremum is only known
+  given the neighbour *values*, so backpropagation needs them: this is a
+  genuine SAR "case 2" workload and the backward pass re-fetches remote
+  features, exactly like attention.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.config import SARConfig
 from repro.core.halo import HaloExchange
+from repro.core.seq_agg import (
+    BlockKernel,
+    KernelPass,
+    SequentialAggregationEngine,
+    block_order,
+)
 from repro.distributed.comm import Communicator
-from repro.partition.shard import ShardedGraph
-from repro.tensor.tensor import Function, Tensor
+from repro.partition.shard import EdgeBlock, ShardedGraph
+from repro.tensor.sparse import segment_max_np, segment_min_np
+from repro.tensor.tensor import Tensor
+
+SUM_OPS = ("sum", "mean")
+POOL_OPS = ("max", "min")
 
 
-def _block_order(rank: int, world_size: int) -> List[int]:
-    """Process the local block first, then remote partitions round-robin.
-
-    Starting each worker's remote sweep at ``rank + 1`` spreads simultaneous
-    fetches across different owners instead of hammering partition 0 first —
-    the same scheduling the SAR library uses.
-    """
-    return [rank] + [(rank + offset) % world_size for offset in range(1, world_size)]
-
-
-def _halo_retention(config: SARConfig) -> Optional[int]:
-    """How many fetched remote blocks stay resident simultaneously.
-
-    ``None`` means unbounded (vanilla DP keeps them all for the backward
-    pass); SAR keeps one, or two when prefetching is modeled.
-    """
-    if config.is_domain_parallel:
-        return None
-    return 2 if config.prefetch else 1
-
-
-class DistributedSumAggregation(Function):
+class SumMeanKernel(BlockKernel):
     """``out[i] = Σ_{j ∈ N(i)} z_j`` (optionally divided by the global in-degree)."""
 
-    def forward(self, z: Tensor, shard: ShardedGraph, comm: Communicator,
-                halo: HaloExchange, config: SARConfig, key: str, op: str) -> np.ndarray:
-        if op not in ("sum", "mean"):
+    grad_class = "linear"
+
+    def __init__(self, z: Tensor, shard: ShardedGraph, halo: HaloExchange, op: str):
+        super().__init__()
+        if op not in SUM_OPS:
             raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
         data = z.data
         if data.ndim != 2:
             raise ValueError(f"Distributed sum aggregation expects 2-D features, got {data.shape}")
-        num_local = shard.num_local_nodes
-        comm.publish(f"{key}/z", data)
+        self.data = data
+        self.shard = shard
+        self.op = op
+        self._passes = [KernelPass(name="", blocks=shard.blocks, halo=halo)]
 
-        acc = np.zeros((num_local, data.shape[1]), dtype=data.dtype)
-        retention = _halo_retention(config)
-        resident: Deque[Tensor] = deque(maxlen=retention) if retention else deque()
-        saved_halos: List[Optional[Tensor]] = [None] * shard.num_parts
+    # -- engine interface ------------------------------------------------ #
+    def payload(self) -> np.ndarray:
+        return self.data
 
-        for q in _block_order(shard.rank, shard.num_parts):
-            block = shard.blocks[q]
-            if block.num_edges == 0:
-                continue
-            if q == shard.rank:
-                feats = data[block.required_src_local]
-            else:
-                fetched = Tensor(
-                    comm.fetch(q, f"{key}/z", rows=block.required_src_local, tag="forward_halo")
-                )
-                resident.append(fetched)
-                if config.is_domain_parallel:
-                    saved_halos[q] = fetched
-                feats = fetched.data
-            acc += block.aggregation_matrix() @ feats
+    def passes(self):
+        return self._passes
 
-        degrees = np.maximum(shard.local_in_degrees, 1).astype(data.dtype)
-        if op == "mean":
-            acc /= degrees[:, None]
-        self.save_for_backward(shard, comm, halo, config, key, op, degrees,
-                               data.shape, saved_halos)
-        return acc
+    def forward_init(self) -> None:
+        self._acc = np.zeros((self.shard.num_local_nodes, self.data.shape[1]),
+                             dtype=self.data.dtype)
 
-    def backward(self, grad_out):
-        shard, comm, halo, config, key, op, degrees, z_shape, saved_halos = self.saved
-        grad = grad_out / degrees[:, None] if op == "mean" else grad_out
-        grad_z = np.zeros(z_shape, dtype=grad_out.dtype)
-        outgoing: Dict[int, np.ndarray] = {}
-        for q in _block_order(shard.rank, shard.num_parts):
-            block = shard.blocks[q]
-            if block.num_edges == 0:
-                continue
-            # Case 1: the error for the block's source rows is A_{p,q}^T · grad —
-            # no remote values are needed, so nothing is re-fetched.
-            error = block.aggregation_matrix(transpose=True) @ grad
-            if q == shard.rank:
-                np.add.at(grad_z, block.required_src_local, error)
-            else:
-                outgoing[q] = error.astype(np.float32)
-        received = comm.exchange(f"{key}/err", outgoing, tag="backward_error")
-        halo.scatter_add_errors(grad_z, received)
-        return (grad_z,)
+    def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                      feats: np.ndarray) -> None:
+        self._acc += block.aggregation_matrix() @ feats
+
+    def forward_finalize(self) -> np.ndarray:
+        self.degrees = np.maximum(self.shard.local_in_degrees, 1).astype(self.data.dtype)
+        out = self._acc
+        del self._acc
+        if self.op == "mean":
+            out /= self.degrees[:, None]
+        return out
+
+    def backward_init(self, grad_out: np.ndarray) -> None:
+        # Case 1: the error for a block's source rows is A_{p,q}^T · grad —
+        # no remote values are needed, so nothing is re-fetched.
+        self._grad = grad_out / self.degrees[:, None] if self.op == "mean" else grad_out
+        self._grad_z = np.zeros(self.data.shape, dtype=grad_out.dtype)
+
+    def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                       feats: Optional[np.ndarray]) -> np.ndarray:
+        return block.aggregation_matrix(transpose=True) @ self._grad
+
+    def error_target(self, p: KernelPass) -> np.ndarray:
+        return self._grad_z
+
+    def backward_finalize(self):
+        return (self._grad_z,)
+
+
+class PoolingKernel(BlockKernel):
+    """``out[i] = max_{j ∈ N(i)} z_j`` (element-wise; ``min`` symmetric).
+
+    Nodes with no in-edges aggregate to ``0``.  The backward pass routes each
+    output gradient to every source whose value attains the extremum (the
+    subgradient convention shared with the single-machine
+    :class:`~repro.tensor.sparse.PoolAggregation`), which requires the
+    neighbour values — SAR case 2.
+    """
+
+    grad_class = "nonlinear"
+
+    def __init__(self, z: Tensor, shard: ShardedGraph, halo: HaloExchange, op: str):
+        super().__init__()
+        if op not in POOL_OPS:
+            raise ValueError(f"op must be 'max' or 'min', got {op!r}")
+        data = z.data
+        if data.ndim != 2:
+            raise ValueError(f"Distributed pooling expects 2-D features, got {data.shape}")
+        self.data = data
+        self.shard = shard
+        self.op = op
+        self._passes = [KernelPass(name="", blocks=shard.blocks, halo=halo)]
+
+    # -- engine interface ------------------------------------------------ #
+    def payload(self) -> np.ndarray:
+        return self.data
+
+    def passes(self):
+        return self._passes
+
+    def forward_init(self) -> None:
+        fill = -np.inf if self.op == "max" else np.inf
+        self._acc = np.full((self.shard.num_local_nodes, self.data.shape[1]), fill,
+                            dtype=self.data.dtype)
+
+    def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                      feats: np.ndarray) -> None:
+        gathered = feats[block.src_index]
+        if self.op == "max":
+            reduced = segment_max_np(gathered, block.dst_local, self.shard.num_local_nodes)
+            np.maximum(self._acc, reduced, out=self._acc)
+        else:
+            reduced = segment_min_np(gathered, block.dst_local, self.shard.num_local_nodes)
+            np.minimum(self._acc, reduced, out=self._acc)
+
+    def forward_finalize(self) -> np.ndarray:
+        acc = self._acc
+        del self._acc
+        self.out = np.where(np.isfinite(acc), acc, 0.0).astype(self.data.dtype, copy=False)
+        return self.out
+
+    def backward_init(self, grad_out: np.ndarray) -> None:
+        self._grad_out = grad_out
+        self._grad_z = np.zeros(self.data.shape, dtype=grad_out.dtype)
+
+    def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                       feats: Optional[np.ndarray]) -> np.ndarray:
+        gathered = feats[block.src_index]
+        mask = gathered == self.out[block.dst_local]
+        contrib = np.where(mask, self._grad_out[block.dst_local], 0.0)
+        error = np.zeros((block.num_required_src, self.data.shape[1]),
+                         dtype=self._grad_out.dtype)
+        np.add.at(error, block.src_index, contrib)
+        return error
+
+    def error_target(self, p: KernelPass) -> np.ndarray:
+        return self._grad_z
+
+    def backward_finalize(self):
+        return (self._grad_z,)
+
+
+def make_neighbor_kernel(z: Tensor, shard: ShardedGraph, halo: HaloExchange,
+                         op: str) -> BlockKernel:
+    """Pick the kernel implementing aggregation ``op`` ("sum"/"mean"/"max"/"min")."""
+    if op in POOL_OPS:
+        return PoolingKernel(z, shard, halo, op)
+    if op in SUM_OPS:
+        return SumMeanKernel(z, shard, halo, op)
+    raise ValueError(f"op must be one of {SUM_OPS + POOL_OPS}, got {op!r}")
 
 
 def distributed_neighbor_aggregate(z: Tensor, shard: ShardedGraph, comm: Communicator,
                                    halo: HaloExchange, config: SARConfig, key: str,
-                                   op: str = "mean") -> Tensor:
+                                   op: str = "mean",
+                                   engine: Optional[SequentialAggregationEngine] = None
+                                   ) -> Tensor:
     """Functional wrapper used by :class:`repro.core.dist_graph.DistributedGraph`."""
-    return DistributedSumAggregation.apply(z, shard, comm, halo, config, key, op)
+    engine = engine or SequentialAggregationEngine(comm, config)
+    return engine.aggregate(make_neighbor_kernel(z, shard, halo, op), key, z)

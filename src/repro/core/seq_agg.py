@@ -1,0 +1,373 @@
+"""The unified sequential-aggregation engine (paper §3.2–§3.4).
+
+The paper's contribution is a *single* algorithmic pattern: iterate over the
+per-partition edge blocks ``G_{p,q}``, fetch each remote block's source rows,
+fold the block into an accumulator, and discard the block immediately (SAR) or
+keep it alive for the backward pass (vanilla domain-parallel).  The backward
+pass replays the same loop, rematerializing per-block intermediates and — for
+"case 2" aggregators whose gradients need the neighbour values — re-fetching
+the remote features, then ships the accumulated errors back to their owners
+with one all-to-all exchange.
+
+:class:`SequentialAggregationEngine` owns that loop once, for every
+aggregator:
+
+* the block schedule (:func:`block_order` — local block first, then remote
+  partitions round-robin starting at ``rank + 1``),
+* publish/fetch key management and the halo-retention policy (SAR keeps one
+  remote block resident, vanilla DP keeps them all),
+* a real double-buffered **prefetch pipeline**: with
+  ``SARConfig(prefetch=True)`` the next block's fetch is issued on a
+  background thread while the current block computes, bounding resident
+  remote blocks at two (the paper's 3/N memory point) while overlapping
+  communication with compute,
+* the backward re-fetch for nonlinear ("case 2") kernels, and
+* the per-pass all-to-all error exchange and scatter-add.
+
+What *differs* between aggregators is captured by :class:`BlockKernel`: the
+published payload, the per-block forward/backward math, the gradient class
+(``"linear"`` needs no backward re-fetch, ``"nonlinear"`` does), and optional
+per-block state such as GAT's running stable-softmax accumulators.  The
+concrete kernels live next to their models:
+
+* :class:`repro.core.sage_dist.SumMeanKernel` — case 1 (linear),
+* :class:`repro.core.sage_dist.PoolingKernel` — max/min pooling, case 2,
+* :class:`repro.core.gat_dist.GATKernel` — attention, case 2,
+* :class:`repro.core.rgcn_dist.RGCNKernel` — relational, case 2, one engine
+  pass per relation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SARConfig
+from repro.core.halo import HaloExchange
+from repro.distributed.comm import Communicator
+from repro.partition.shard import EdgeBlock
+from repro.tensor.memory import active_tracker, track_memory
+from repro.tensor.tensor import Function, Tensor
+
+
+def block_order(rank: int, world_size: int) -> List[int]:
+    """Process the local block first, then remote partitions round-robin.
+
+    Starting each worker's remote sweep at ``rank + 1`` spreads simultaneous
+    fetches across different owners instead of hammering partition 0 first —
+    the same scheduling the SAR library uses.
+    """
+    return [rank] + [(rank + offset) % world_size for offset in range(1, world_size)]
+
+
+@dataclass
+class KernelPass:
+    """One sweep over a grid of edge blocks with its own error exchange.
+
+    Homogeneous aggregators have a single pass; R-GCN has one pass per
+    relation (each relation has its own block grid and halo routing).
+    ``name`` namespaces the error-exchange key; ``index`` identifies the pass
+    to the kernel (e.g. the relation index).
+    """
+
+    name: str
+    blocks: Sequence[EdgeBlock]
+    halo: HaloExchange
+    index: int = 0
+
+
+class BlockKernel:
+    """Per-aggregator math plugged into :class:`SequentialAggregationEngine`.
+
+    A kernel instance is created per aggregation call and owns references to
+    the call's input arrays.  The engine drives it through the hooks below;
+    ``grad_class`` declares whether the backward pass needs the neighbour
+    feature values (``"nonlinear"`` → SAR re-fetches remote blocks,
+    ``"linear"`` → errors are computed from the gradient alone).
+    """
+
+    grad_class: str = "linear"
+
+    def __init__(self) -> None:
+        self._saved_halos: Dict[Tuple[int, int], Tensor] = {}
+        #: set by the engine before the forward sweep; the same array backs
+        #: the published tensor, so holding it adds no memory.
+        self._payload: Optional[np.ndarray] = None
+
+    # -- interface implemented by concrete kernels ----------------------- #
+    def payload(self) -> np.ndarray:
+        """Array published for peers to fetch (forward halo and case-2 re-fetch)."""
+        raise NotImplementedError
+
+    def passes(self) -> Sequence[KernelPass]:
+        """The block sweeps this kernel performs (one per relation for R-GCN)."""
+        raise NotImplementedError
+
+    def forward_init(self) -> None:
+        """Allocate forward accumulators."""
+
+    def begin_pass(self, p: KernelPass, backward: bool) -> None:
+        """Hook called before a pass's blocks are visited."""
+
+    def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                      feats: np.ndarray) -> None:
+        """Fold one block into the forward accumulator.
+
+        ``feats`` holds the payload rows for ``block.required_src_local``
+        (local slice or fetched remote copy).
+        """
+        raise NotImplementedError
+
+    def end_pass(self, p: KernelPass, backward: bool) -> None:
+        """Hook called after a pass's blocks (before the error exchange)."""
+
+    def forward_finalize(self) -> np.ndarray:
+        """Return the aggregation output; keep only what backward needs."""
+        raise NotImplementedError
+
+    def backward_init(self, grad_out: np.ndarray) -> None:
+        """Allocate gradient accumulators (including :meth:`error_target`)."""
+        raise NotImplementedError
+
+    def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
+                       feats: Optional[np.ndarray]) -> np.ndarray:
+        """Return the error rows for ``block.required_src_local``.
+
+        ``feats`` is ``None`` for linear kernels; nonlinear kernels receive
+        the rematerialized payload rows (local slice, saved DP halo, or SAR
+        re-fetch).  The engine scatter-adds the result into
+        :meth:`error_target` for the local block and ships it to the owner
+        otherwise.
+        """
+        raise NotImplementedError
+
+    def error_target(self, p: KernelPass) -> np.ndarray:
+        """The local array that incoming error rows accumulate into."""
+        raise NotImplementedError
+
+    def backward_finalize(self) -> Tuple[np.ndarray, ...]:
+        """Return one gradient per input tensor, in input order."""
+        raise NotImplementedError
+
+    # -- halo bookkeeping (vanilla DP keeps fetched blocks alive) --------- #
+    def save_halo(self, p: KernelPass, q: int, tensor: Tensor) -> None:
+        self._saved_halos[(p.index, q)] = tensor
+
+    def saved_halo(self, p: KernelPass, q: int) -> np.ndarray:
+        return self._saved_halos[(p.index, q)].data
+
+
+class _PrefetchPipeline:
+    """Double-buffered background fetcher (one fetch in flight at a time).
+
+    The fetched block is wrapped in a :class:`Tensor` *on the fetcher thread*
+    under the consumer's memory tracker, so the in-flight buffer counts
+    towards the worker's peak exactly like a resident halo block — the
+    3/N-instead-of-2/N accounting of §3.4.
+    """
+
+    def __init__(self, comm: Communicator, key: str, tag: str):
+        self._comm = comm
+        self._key = key
+        self._tag = tag
+        self._tracker = active_tracker()
+        self._thread: Optional[threading.Thread] = None
+        self._q: Optional[int] = None
+        self._result: Optional[Tensor] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._thread is not None
+
+    def issue(self, q: int, rows: np.ndarray) -> None:
+        def _run() -> None:
+            try:
+                if self._tracker is not None:
+                    with track_memory(self._tracker):
+                        arr = self._comm.fetch(q, self._key, rows=rows, tag=self._tag)
+                        self._result = Tensor(arr)
+                else:
+                    self._result = Tensor(
+                        self._comm.fetch(q, self._key, rows=rows, tag=self._tag)
+                    )
+            except BaseException as exc:  # noqa: BLE001 - re-raised in take()
+                self._error = exc
+
+        self._q = q
+        self._result = None
+        self._error = None
+        self._thread = threading.Thread(target=_run, name="sar-prefetch", daemon=True)
+        self._thread.start()
+
+    def take(self, q: int, rows: np.ndarray) -> Tensor:
+        thread, expected = self._thread, self._q
+        self._thread = None
+        if thread is None or expected != q:
+            # Defensive fallback; the engine always consumes in issue order.
+            return Tensor(self._comm.fetch(q, self._key, rows=rows, tag=self._tag))
+        thread.join()
+        if self._error is not None:
+            raise self._error
+        result = self._result
+        self._result = None
+        return result
+
+
+class SequentialAggregation(Function):
+    """Autograd wrapper: ``forward`` runs the engine's sequential sweep,
+    ``backward`` the rematerializing sweep plus the error exchange."""
+
+    def forward(self, kernel: BlockKernel, engine: "SequentialAggregationEngine",
+                key: str, *tensors: Tensor) -> np.ndarray:
+        out = engine.run_forward(kernel, key)
+        self.save_for_backward(kernel, engine, key)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        kernel, engine, key = self.saved
+        return engine.run_backward(kernel, key, grad_out)
+
+
+class SequentialAggregationEngine:
+    """Owns the SAR / domain-parallel block loop for every aggregator."""
+
+    def __init__(self, comm: Communicator, config: SARConfig):
+        self.comm = comm
+        self.config = config
+        #: high-water mark of simultaneously resident remote halo blocks
+        #: (fetched tensors plus at most one in-flight prefetch) across every
+        #: aggregation this engine has run.  SAR keeps this at 1 (2 with
+        #: prefetching); vanilla DP grows it to the number of remote blocks.
+        self.max_resident_remote_blocks = 0
+
+    # ------------------------------------------------------------------ #
+    def aggregate(self, kernel: BlockKernel, key: str, *tensors: Tensor) -> Tensor:
+        """Run ``kernel`` through the engine as a differentiable op.
+
+        ``tensors`` are the kernel's differentiable inputs; their order
+        defines the order of the gradients ``kernel.backward_finalize``
+        returns.
+        """
+        return SequentialAggregation.apply(kernel, self, key, *tensors)
+
+    def reset_peak_resident(self) -> None:
+        self.max_resident_remote_blocks = 0
+
+    # ------------------------------------------------------------------ #
+    def run_forward(self, kernel: BlockKernel, key: str) -> np.ndarray:
+        payload = kernel.payload()
+        kernel._payload = payload
+        self.comm.publish(f"{key}/h", payload)
+        save_halos = self.config.is_domain_parallel
+        kernel.forward_init()
+        for p in kernel.passes():
+            kernel.begin_pass(p, backward=False)
+            for q, blk, feats, fetched in self._iter_fetch(p, key, payload,
+                                                          tag="forward_halo"):
+                if fetched is not None and save_halos:
+                    kernel.save_halo(p, q, fetched)
+                kernel.forward_block(p, q, blk, feats)
+            kernel.end_pass(p, backward=False)
+        return kernel.forward_finalize()
+
+    def run_backward(self, kernel: BlockKernel, key: str,
+                     grad_out: np.ndarray) -> Tuple[np.ndarray, ...]:
+        kernel.backward_init(grad_out)
+        rank = self.comm.rank
+        refetch = kernel.grad_class == "nonlinear" and self.config.is_sar
+        for p in kernel.passes():
+            kernel.begin_pass(p, backward=True)
+            if refetch:
+                # Case 2: re-fetch remote payload rows (the paper's ~50 %
+                # communication overhead for attention/relational models).
+                blocks = self._iter_fetch(p, key, kernel._payload,
+                                          tag="backward_refetch")
+            else:
+                blocks = self._iter_resident(p, kernel)
+            outgoing: Dict[int, np.ndarray] = {}
+            for q, blk, feats, _ in blocks:
+                error = kernel.backward_block(p, q, blk, feats)
+                if q == rank:
+                    np.add.at(kernel.error_target(p), blk.required_src_local, error)
+                else:
+                    outgoing[q] = np.asarray(error, dtype=np.float32)
+            kernel.end_pass(p, backward=True)
+            err_key = f"{key}/{p.name}/err" if p.name else f"{key}/err"
+            received = self.comm.exchange(err_key, outgoing, tag="backward_error")
+            p.halo.scatter_add_errors(kernel.error_target(p), received)
+        return kernel.backward_finalize()
+
+    # ------------------------------------------------------------------ #
+    def _iter_fetch(self, p: KernelPass, key: str, payload: np.ndarray,
+                    tag: str) -> Iterator[Tuple[int, EdgeBlock, np.ndarray, Optional[Tensor]]]:
+        """Yield ``(q, block, feats, fetched)`` with fetching, retention, and
+        (optionally) the prefetch pipeline applied.
+
+        ``fetched`` is the remote block wrapped in a tracked :class:`Tensor`
+        (``None`` for the local block).  Under SAR the block is dropped as
+        soon as its compute finishes; under vanilla DP the caller keeps it
+        via ``kernel.save_halo``.
+        """
+        comm, config = self.comm, self.config
+        rank = comm.rank
+        fetch_key = f"{key}/h"
+        order = [q for q in block_order(rank, comm.world_size)
+                 if p.blocks[q].num_edges > 0]
+        remotes = [q for q in order if q != rank]
+        pipeline: Optional[_PrefetchPipeline] = None
+        next_prefetch = 0
+        if config.prefetch and remotes:
+            pipeline = _PrefetchPipeline(comm, fetch_key, tag)
+            pipeline.issue(remotes[0], p.blocks[remotes[0]].required_src_local)
+            next_prefetch = 1
+
+        resident: List[Tensor] = []
+        keep_all = config.is_domain_parallel
+        for q in order:
+            blk = p.blocks[q]
+            if q == rank:
+                yield q, blk, payload[blk.required_src_local], None
+                continue
+            if pipeline is not None:
+                fetched = pipeline.take(q, blk.required_src_local)
+                if next_prefetch < len(remotes):
+                    nq = remotes[next_prefetch]
+                    pipeline.issue(nq, p.blocks[nq].required_src_local)
+                    next_prefetch += 1
+            else:
+                fetched = Tensor(
+                    comm.fetch(q, fetch_key, rows=blk.required_src_local, tag=tag)
+                )
+            resident.append(fetched)
+            in_flight = 1 if (pipeline is not None and pipeline.busy) else 0
+            self.max_resident_remote_blocks = max(
+                self.max_resident_remote_blocks, len(resident) + in_flight
+            )
+            yield q, blk, fetched.data, fetched
+            if not keep_all:
+                # Sequential rematerialization: the block has been folded into
+                # the accumulator; nothing edge- or halo-sized survives.
+                resident.clear()
+
+    def _iter_resident(self, p: KernelPass,
+                       kernel: BlockKernel) -> Iterator[Tuple[int, EdgeBlock, Optional[np.ndarray], None]]:
+        """Backward sweep without re-fetch: linear kernels need no feature
+        values; nonlinear kernels under vanilla DP read the halos saved during
+        the forward pass."""
+        rank = self.comm.rank
+        nonlinear = kernel.grad_class == "nonlinear"
+        for q in block_order(rank, self.comm.world_size):
+            blk = p.blocks[q]
+            if blk.num_edges == 0:
+                continue
+            feats: Optional[np.ndarray] = None
+            if nonlinear:
+                if q == rank:
+                    feats = kernel._payload[blk.required_src_local]
+                else:
+                    feats = kernel.saved_halo(p, q)
+            yield q, blk, feats, None

@@ -16,6 +16,7 @@ from repro.distributed.cost_model import (
     scaling_table,
     PAPER_LIKE_SPEC,
     COMM_BOUND_SPEC,
+    PREFETCH_OVERLAP_TAGS,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "scaling_table",
     "PAPER_LIKE_SPEC",
     "COMM_BOUND_SPEC",
+    "PREFETCH_OVERLAP_TAGS",
 ]

@@ -62,6 +62,21 @@ class ClusterRunResult:
     def total_bytes_communicated(self) -> int:
         return sum(s.bytes_sent for s in self.comm_stats)
 
+    def total_sent_by_tag(self) -> Dict[str, int]:
+        """Cluster-wide sent bytes per communication tag."""
+        return self._total_by_tag("sent_by_tag")
+
+    def total_received_by_tag(self) -> Dict[str, int]:
+        """Cluster-wide received bytes per communication tag."""
+        return self._total_by_tag("received_by_tag")
+
+    def _total_by_tag(self, attribute: str) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for stats in self.comm_stats:
+            for tag, nbytes in getattr(stats, attribute).items():
+                totals[tag] = totals.get(tag, 0) + nbytes
+        return totals
+
     def summary(self) -> Dict[str, float]:
         """Compact dictionary for logging / benchmark reports."""
         return {

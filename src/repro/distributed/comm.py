@@ -35,30 +35,33 @@ class CommStats:
     """Per-worker communication counters (bytes and message counts).
 
     Counters may be updated from another worker's thread (the fetching side
-    records the owner's send), so updates are lock-protected.
+    records the owner's send), so updates are lock-protected.  Byte volumes
+    are broken down per direction by a caller-supplied tag (e.g.
+    "forward_halo", "backward_refetch", "backward_error", "grad_sync") in
+    :attr:`sent_by_tag` / :attr:`received_by_tag`.
     """
 
     bytes_sent: int = 0
     bytes_received: int = 0
     messages_sent: int = 0
     messages_received: int = 0
-    #: bytes broken down by a caller-supplied tag (e.g. "forward_halo",
-    #: "backward_refetch", "backward_error", "grad_sync")
-    bytes_by_tag: Dict[str, int] = field(default_factory=dict)
+    #: bytes this worker sent, broken down by tag
+    sent_by_tag: Dict[str, int] = field(default_factory=dict)
+    #: bytes this worker received, broken down by tag
+    received_by_tag: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_send(self, nbytes: int, tag: str = "other") -> None:
         with self._lock:
             self.bytes_sent += int(nbytes)
             self.messages_sent += 1
-            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + int(nbytes)
+            self.sent_by_tag[tag] = self.sent_by_tag.get(tag, 0) + int(nbytes)
 
     def record_recv(self, nbytes: int, tag: str = "other") -> None:
         with self._lock:
             self.bytes_received += int(nbytes)
             self.messages_received += 1
-            key = tag + "_recv"
-            self.bytes_by_tag[key] = self.bytes_by_tag.get(key, 0) + int(nbytes)
+            self.received_by_tag[tag] = self.received_by_tag.get(tag, 0) + int(nbytes)
 
     def reset(self) -> None:
         with self._lock:
@@ -66,11 +69,19 @@ class CommStats:
             self.bytes_received = 0
             self.messages_sent = 0
             self.messages_received = 0
-            self.bytes_by_tag = {}
+            self.sent_by_tag = {}
+            self.received_by_tag = {}
 
     @property
     def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
+
+    def bytes_for_tags(self, tags) -> tuple:
+        """``(sent, received)`` byte totals summed over ``tags``."""
+        with self._lock:
+            sent = sum(self.sent_by_tag.get(tag, 0) for tag in tags)
+            received = sum(self.received_by_tag.get(tag, 0) for tag in tags)
+        return sent, received
 
     def snapshot(self) -> Dict[str, int]:
         out = {
@@ -79,7 +90,8 @@ class CommStats:
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
         }
-        out.update({f"tag:{k}": v for k, v in sorted(self.bytes_by_tag.items())})
+        out.update({f"sent:{k}": v for k, v in sorted(self.sent_by_tag.items())})
+        out.update({f"recv:{k}": v for k, v in sorted(self.received_by_tag.items())})
         return out
 
 

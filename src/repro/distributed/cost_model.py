@@ -27,6 +27,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.distributed.cluster import ClusterRunResult
 
+#: Tags whose transfer time the engine's prefetch pipeline can hide behind
+#: compute (§3.4): the forward halo fetches and the case-2 backward
+#: re-fetches are issued on a background thread, so up to ``compute_time`` of
+#: their wire time overlaps.  Error exchanges and gradient allreduces are
+#: synchronization points and stay serial.
+PREFETCH_OVERLAP_TAGS = ("forward_halo", "backward_refetch")
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
@@ -79,10 +86,13 @@ class WorkerCost:
     comm_time_s: float
     peak_memory_mb: float
     oom: bool
+    #: portion of ``comm_time_s`` hidden behind compute by the prefetch
+    #: pipeline (0 unless the cost model was given ``overlap_tags``)
+    hidden_comm_time_s: float = 0.0
 
     @property
     def total_time_s(self) -> float:
-        return self.compute_time_s + self.comm_time_s
+        return self.compute_time_s + self.comm_time_s - self.hidden_comm_time_s
 
 
 @dataclass
@@ -113,22 +123,35 @@ class EpochCostReport:
     def comm_time_s(self) -> float:
         return max(w.comm_time_s for w in self.workers) if self.workers else 0.0
 
+    @property
+    def hidden_comm_time_s(self) -> float:
+        """Comm time hidden behind compute by prefetch (slowest worker)."""
+        return max(w.hidden_comm_time_s for w in self.workers) if self.workers else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "epoch_time_s": self.epoch_time_s,
             "compute_time_s": self.compute_time_s,
             "comm_time_s": self.comm_time_s,
+            "hidden_comm_time_s": self.hidden_comm_time_s,
             "max_peak_memory_mb": self.max_peak_memory_mb,
             "any_oom": self.any_oom,
         }
 
 
 def epoch_cost(result: ClusterRunResult, spec: ClusterSpec = PAPER_LIKE_SPEC,
-               num_epochs: int = 1) -> EpochCostReport:
+               num_epochs: int = 1,
+               overlap_tags: Optional[Sequence[str]] = None) -> EpochCostReport:
     """Convert a :class:`ClusterRunResult` into a modeled per-epoch cost report.
 
     ``num_epochs`` divides measured compute time and communication volume so
     a multi-epoch training run can be reported per epoch.
+
+    ``overlap_tags`` names communication tags whose wire time overlaps with
+    compute (pass :data:`PREFETCH_OVERLAP_TAGS` for runs executed with
+    ``SARConfig(prefetch=True)``): per worker, up to ``compute_time`` of the
+    tagged transfer time is hidden, so the modeled total becomes
+    ``max(compute, overlappable_comm) + serial_comm``.
     """
     if num_epochs <= 0:
         raise ValueError(f"num_epochs must be positive, got {num_epochs}")
@@ -140,14 +163,22 @@ def epoch_cost(result: ClusterRunResult, spec: ClusterSpec = PAPER_LIKE_SPEC,
         directional_bytes = max(stats.bytes_sent, stats.bytes_received) / num_epochs
         messages = max(stats.messages_sent, stats.messages_received) / num_epochs
         comm_time = spec.transfer_time(directional_bytes, messages)
+        compute_time = result.compute_times[rank] * spec.compute_scale / num_epochs
+        hidden = 0.0
+        if overlap_tags:
+            sent_overlap, recv_overlap = stats.bytes_for_tags(overlap_tags)
+            overlap_bytes = max(sent_overlap, recv_overlap) / num_epochs
+            overlap_time = min(spec.transfer_time(int(overlap_bytes)), comm_time)
+            hidden = min(compute_time, overlap_time)
         peak_mb = result.memory[rank].peak_mb
         workers.append(
             WorkerCost(
                 rank=rank,
-                compute_time_s=result.compute_times[rank] * spec.compute_scale / num_epochs,
+                compute_time_s=compute_time,
                 comm_time_s=comm_time,
                 peak_memory_mb=peak_mb,
                 oom=spec.memory_budget_mb is not None and peak_mb > spec.memory_budget_mb,
+                hidden_comm_time_s=hidden,
             )
         )
     return EpochCostReport(spec=spec, workers=workers)

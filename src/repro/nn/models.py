@@ -59,7 +59,13 @@ class _DeepGNN(Module):
 
 
 class GraphSageNet(_DeepGNN):
-    """Multi-layer GraphSage classifier (3 layers, hidden size 256 in the paper)."""
+    """Multi-layer GraphSage classifier (3 layers, hidden size 256 in the paper).
+
+    ``aggregator`` selects the neighbour aggregation of every layer:
+    ``"mean"``/``"sum"`` (the paper's case-1 configuration) or ``"max"``/
+    ``"min"`` pooling (a case-2 configuration — distributed training
+    re-fetches remote features during the backward pass, like GAT/R-GCN).
+    """
 
     def __init__(self, in_features: int, hidden_features: int, num_classes: int,
                  num_layers: int = 3, dropout: float = 0.5, use_batch_norm: bool = True,

@@ -1,11 +1,16 @@
 """GraphSage convolution (single-machine), paper Eq. 2.
 
-``h_i = σ( W_res · h_i + (1/|N(i)|) Σ_{j∈N(i)} W · h_j )``
+``h_i = σ( W_res · h_i + AGG_{j∈N(i)} W · h_j )``
 
-The neighbour aggregation is a sum/mean — gradients w.r.t. the inputs do not
-depend on the input values, which is why the distributed version of this
-layer is SAR's "case 1": no re-fetch of remote features is needed during the
-backward pass.
+with ``AGG`` one of:
+
+* ``"mean"`` / ``"sum"`` — linear aggregation; gradients w.r.t. the inputs do
+  not depend on the input values, which is why the distributed version of
+  this layer is SAR's "case 1": no re-fetch of remote features is needed
+  during the backward pass.
+* ``"max"`` / ``"min"`` — element-wise pooling; which neighbour attains the
+  extremum depends on the *values*, so the distributed backward pass must
+  re-fetch remote features — SAR's "case 2", just like attention.
 """
 
 from __future__ import annotations
@@ -16,20 +21,24 @@ from repro.graph.graph import Graph
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor import functional as F
-from repro.tensor.sparse import spmm
+from repro.tensor.sparse import pool_aggregate, spmm
 from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
 
+AGGREGATORS = ("mean", "sum", "max", "min")
+
 
 class SageConv(Module):
-    """GraphSage layer with mean (default) or sum neighbour aggregation."""
+    """GraphSage layer with mean (default), sum, max, or min aggregation."""
 
     def __init__(self, in_features: int, out_features: int, aggregator: str = "mean",
                  bias: bool = True,
                  activation: Optional[Callable[[Tensor], Tensor]] = None):
         super().__init__()
-        if aggregator not in ("mean", "sum"):
-            raise ValueError(f"aggregator must be 'mean' or 'sum', got {aggregator!r}")
+        if aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS}, got {aggregator!r}"
+            )
         self.in_features = check_positive_int(in_features, "in_features")
         self.out_features = check_positive_int(out_features, "out_features")
         self.aggregator = aggregator
@@ -44,8 +53,9 @@ class SageConv(Module):
         ``graph`` is either a single-machine :class:`~repro.graph.graph.Graph`
         or a distributed graph handle (``repro.core.DistributedGraph``), in
         which case ``x`` holds only the local partition's rows and the
-        neighbour aggregation runs through SAR / domain-parallel exchange —
-        the model code is identical in both settings, as in the paper.
+        neighbour aggregation runs through the sequential-aggregation engine
+        (SAR / domain-parallel exchange) — the model code is identical in
+        both settings, as in the paper.
         """
         if x.shape[0] != graph.num_nodes:
             raise ValueError(
@@ -53,9 +63,13 @@ class SageConv(Module):
             )
         z = self.neighbor_linear(x)
         if isinstance(graph, Graph):
-            norm = self.aggregator if self.aggregator == "mean" else "none"
-            aggregated = spmm(z, graph.adjacency(normalization=norm),
-                              graph.adjacency(transpose=True, normalization=norm))
+            if self.aggregator in ("max", "min"):
+                aggregated = pool_aggregate(z, graph.src, graph.dst, graph.num_nodes,
+                                            op=self.aggregator)
+            else:
+                norm = self.aggregator if self.aggregator == "mean" else "none"
+                aggregated = spmm(z, graph.adjacency(normalization=norm),
+                                  graph.adjacency(transpose=True, normalization=norm))
         else:
             aggregated = graph.aggregate_neighbors(z, op=self.aggregator)
         out = self.self_linear(x) + aggregated
@@ -75,13 +89,20 @@ def sage_reference_forward(graph: Graph, x, w_neigh, w_self, bias=None,
     """Plain-NumPy reference implementation used by the unit tests."""
     import numpy as np
 
+    from repro.tensor.sparse import segment_max_np, segment_min_np
+
     x = x.data if isinstance(x, Tensor) else x
     z = x @ (w_neigh.data if isinstance(w_neigh, Tensor) else w_neigh)
-    agg = np.zeros_like(z)
-    np.add.at(agg, graph.dst, z[graph.src])
-    if aggregator == "mean":
-        deg = np.maximum(graph.in_degrees(), 1).astype(z.dtype)
-        agg = agg / deg[:, None]
+    if aggregator in ("max", "min"):
+        reduce = segment_max_np if aggregator == "max" else segment_min_np
+        agg = reduce(z[graph.src], graph.dst, graph.num_nodes)
+        agg = np.where(np.isfinite(agg), agg, 0.0).astype(z.dtype, copy=False)
+    else:
+        agg = np.zeros_like(z)
+        np.add.at(agg, graph.dst, z[graph.src])
+        if aggregator == "mean":
+            deg = np.maximum(graph.in_degrees(), 1).astype(z.dtype)
+            agg = agg / deg[:, None]
     out = x @ (w_self.data if isinstance(w_self, Tensor) else w_self) + agg
     if bias is not None:
         out = out + (bias.data if isinstance(bias, Tensor) else bias)

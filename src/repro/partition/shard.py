@@ -38,7 +38,11 @@ class EdgeBlock:
     src_index: np.ndarray
     #: per-edge destination id, local to worker ``dst_rank``
     dst_local: np.ndarray
+    #: lazily built unweighted CSR matrices, keyed by orientation
     _csr_cache: Dict[bool, sp.csr_matrix] = field(default_factory=dict, repr=False)
+    #: lazily built ``(edge_order, indices, indptr)`` CSR sparsity structure,
+    #: keyed by orientation — shared by every weighted matrix of this block
+    _structure_cache: Dict[bool, tuple] = field(default_factory=dict, repr=False)
 
     @property
     def num_edges(self) -> int:
@@ -48,34 +52,68 @@ class EdgeBlock:
     def num_required_src(self) -> int:
         return len(self.required_src_local)
 
+    def _shape(self, transpose: bool) -> tuple:
+        if transpose:
+            return (self.num_required_src, self.num_dst)
+        return (self.num_dst, self.num_required_src)
+
+    def _structure(self, transpose: bool) -> tuple:
+        """``(edge_order, indices, indptr)`` of the CSR layout for one orientation.
+
+        Sorting the edges happens once; after that any edge-weighted matrix
+        is assembled by permuting its weights into the cached layout (parallel
+        edges stay as separate stored entries, which scipy's matvec sums).
+        """
+        cached = self._structure_cache.get(transpose)
+        if cached is None:
+            if transpose:
+                rows, cols = self.src_index, self.dst_local
+            else:
+                rows, cols = self.dst_local, self.src_index
+            num_rows = self._shape(transpose)[0]
+            order = np.lexsort((cols, rows))
+            indices = cols[order]
+            indptr = np.zeros(num_rows + 1, dtype=np.int64)
+            np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
+            cached = (order, indices, indptr)
+            self._structure_cache[transpose] = cached
+        return cached
+
     def aggregation_matrix(self, transpose: bool = False) -> sp.csr_matrix:
-        """Unweighted (num_dst × num_required_src) sum-aggregation matrix."""
-        if transpose not in self._csr_cache:
-            data = np.ones(self.num_edges, dtype=np.float32)
+        """Unweighted (num_dst × num_required_src) sum-aggregation matrix.
+
+        Each orientation is built lazily on first use and cached; requesting
+        the forward matrix no longer materializes the transpose as well.
+        """
+        mat = self._csr_cache.get(transpose)
+        if mat is None:
+            order, indices, indptr = self._structure(transpose)
             mat = sp.csr_matrix(
-                (data, (self.dst_local, self.src_index)),
-                shape=(self.num_dst, self.num_required_src),
+                (np.ones(self.num_edges, dtype=np.float32), indices, indptr),
+                shape=self._shape(transpose),
             )
-            self._csr_cache[False] = mat
-            self._csr_cache[True] = mat.T.tocsr()
-        return self._csr_cache[transpose]
+            self._csr_cache[transpose] = mat
+        return mat
 
     def weighted_matrix(self, weights: np.ndarray, transpose: bool = False) -> sp.csr_matrix:
-        """Edge-weighted aggregation matrix (rebuilt per call; not cached)."""
+        """Edge-weighted aggregation matrix over the cached sparsity structure.
+
+        The COO→CSR sort is paid once per block and orientation
+        (:meth:`_structure`); after that every call — the GAT backward hot
+        path builds one per head per block — only permutes ``weights`` into
+        the cached layout.  The returned matrix itself is *not* retained:
+        edge-sized weight data must not outlive the aggregation that created
+        it, or SAR's "nothing edge-sized survives" memory behaviour would be
+        silently broken.
+        """
         weights = np.asarray(weights, dtype=np.float32)
         if weights.shape != (self.num_edges,):
             raise ValueError(
                 f"weights must have shape ({self.num_edges},), got {weights.shape}"
             )
-        if transpose:
-            return sp.csr_matrix(
-                (weights, (self.src_index, self.dst_local)),
-                shape=(self.num_required_src, self.num_dst),
-            )
-        return sp.csr_matrix(
-            (weights, (self.dst_local, self.src_index)),
-            shape=(self.num_dst, self.num_required_src),
-        )
+        order, indices, indptr = self._structure(transpose)
+        return sp.csr_matrix((weights[order], indices, indptr),
+                             shape=self._shape(transpose))
 
 
 class ShardedGraph:

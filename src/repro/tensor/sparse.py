@@ -71,6 +71,15 @@ def segment_max_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: in
     return out
 
 
+def segment_min_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                   initial: float = np.inf) -> np.ndarray:
+    """Min-reduce ``values`` per segment (empty segments yield ``initial``)."""
+    values = np.asarray(values)
+    out = np.full((num_segments,) + values.shape[1:], initial, dtype=values.dtype)
+    np.minimum.at(out, segment_ids, values)
+    return out
+
+
 def segment_count_np(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
     """Number of entries per segment."""
     return np.bincount(segment_ids, minlength=num_segments).astype(np.int64)
@@ -181,6 +190,40 @@ class UMulESum(Function):
         return grad_x.reshape(x_shape), grad_w.reshape(w_shape).astype(w_data.dtype)
 
 
+class PoolAggregation(Function):
+    """Element-wise max/min pooling over incoming edges.
+
+    ``out[d] = op_{e:(s→d)} x[s]`` per feature dimension; destinations with
+    no incoming edges yield ``0``.  The backward pass routes each output
+    gradient to *every* source value attaining the extremum (the same
+    subgradient convention as the distributed
+    :class:`~repro.core.sage_dist.PoolingKernel`, so single-machine and SAR
+    training stay bit-for-bit comparable).
+    """
+
+    def forward(self, x: Tensor, src: np.ndarray, dst: np.ndarray, num_dst: int,
+                op: str) -> np.ndarray:
+        if op not in ("max", "min"):
+            raise ValueError(f"op must be 'max' or 'min', got {op!r}")
+        data = x.data
+        gathered = data[src]
+        if op == "max":
+            reduced = segment_max_np(gathered, dst, num_dst)
+        else:
+            reduced = segment_min_np(gathered, dst, num_dst)
+        out = np.where(np.isfinite(reduced), reduced, 0.0).astype(data.dtype, copy=False)
+        self.save_for_backward(data, src, dst, out, x.shape)
+        return out
+
+    def backward(self, grad_out):
+        data, src, dst, out, x_shape = self.saved
+        mask = data[src] == out[dst]
+        contrib = np.where(mask, grad_out[dst], 0.0)
+        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        np.add.at(grad_x, src, contrib)
+        return (grad_x,)
+
+
 class EdgeSoftmax(Function):
     """Softmax over incoming edges of each destination node (DGL ``edge_softmax``)."""
 
@@ -212,6 +255,11 @@ def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
 
 def u_mul_e_sum(x: Tensor, w: Tensor, src, dst, num_dst: int) -> Tensor:
     return UMulESum.apply(x, w, np.asarray(src), np.asarray(dst), num_dst)
+
+
+def pool_aggregate(x: Tensor, src, dst, num_dst: int, op: str = "max") -> Tensor:
+    """Max/min pooling of source features into destination nodes."""
+    return PoolAggregation.apply(x, np.asarray(src), np.asarray(dst), num_dst, op)
 
 
 def edge_softmax(scores: Tensor, dst, num_dst: int) -> Tensor:

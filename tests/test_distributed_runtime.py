@@ -72,7 +72,9 @@ class TestPointToPoint:
         for stats in result.comm_stats:
             assert stats.bytes_received == payload_bytes
             assert stats.bytes_sent == payload_bytes
-            assert stats.bytes_by_tag["halo_recv"] == payload_bytes
+            assert stats.received_by_tag["halo"] == payload_bytes
+            assert stats.sent_by_tag["halo"] == payload_bytes
+            assert stats.bytes_for_tags(["halo"]) == (payload_bytes, payload_bytes)
 
     def test_unpublish_and_clear(self):
         def worker(rank, comm):

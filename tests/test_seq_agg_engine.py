@@ -1,0 +1,406 @@
+"""Tests for the unified sequential-aggregation engine.
+
+Covers the behaviour the engine refactor must preserve and the features it
+adds: SAR ↔ vanilla-DP parity (outputs, gradients, communication volumes) for
+every kernel under ``prefetch=False`` and ``prefetch=True``, the new max/min
+pooling aggregators (a genuine case-2 workload), the resident-halo-block
+bound of the prefetch pipeline, end-to-end pooling-SAGE training, and the
+split sent/received per-tag communication accounting consumed by the cost
+model's overlap term.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    DOMAIN_PARALLEL,
+    SAR,
+    SARConfig,
+    DistributedGraph,
+    DistributedHeteroGraph,
+    broadcast_parameters,
+    sync_gradients,
+)
+from repro.datasets import make_hetero_sbm_dataset
+from repro.distributed import (
+    ClusterSpec,
+    PREFETCH_OVERLAP_TAGS,
+    epoch_cost,
+    run_distributed,
+)
+from repro.partition import (
+    PartitionBook,
+    create_hetero_shards,
+    create_shards,
+    partition_graph,
+)
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.optim import Adam
+from repro.tensor.sparse import pool_aggregate
+from repro.utils.seed import set_seed
+
+WORLD = 4
+
+SAR_PREFETCH = SARConfig("sar", prefetch=True)
+ENGINE_CONFIGS = [SAR, SAR_PREFETCH, DOMAIN_PARALLEL]
+ENGINE_CONFIG_IDS = ["sar", "sar-prefetch", "dp"]
+
+
+def _shards_for(graph, num_parts=WORLD, seed=0):
+    assignment = partition_graph(graph, num_parts, seed=seed)
+    book = PartitionBook(assignment, num_parts)
+    return book, create_shards(graph, book)
+
+
+# --------------------------------------------------------------------------- #
+# single-machine pooling op
+# --------------------------------------------------------------------------- #
+class TestPoolAggregationSingleMachine:
+    @pytest.mark.parametrize("op", ["max", "min"])
+    def test_forward_matches_bruteforce(self, sbm_graph, rng, op):
+        z = rng.standard_normal((sbm_graph.num_nodes, 5)).astype(np.float32)
+        out = pool_aggregate(Tensor(z), sbm_graph.src, sbm_graph.dst,
+                             sbm_graph.num_nodes, op=op)
+        reduce = np.maximum if op == "max" else np.minimum
+        fill = -np.inf if op == "max" else np.inf
+        expected = np.full_like(z, fill)
+        for s, d in zip(sbm_graph.src, sbm_graph.dst):
+            expected[d] = reduce(expected[d], z[s])
+        expected = np.where(np.isfinite(expected), expected, 0.0)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6, atol=1e-6)
+
+    def test_isolated_destination_aggregates_to_zero(self):
+        # Node 2 has no incoming edges.
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        z = Tensor(np.array([[3.0], [-2.0], [5.0]], dtype=np.float32),
+                   requires_grad=True)
+        out = pool_aggregate(z, src, dst, 3, op="max")
+        np.testing.assert_allclose(out.data, [[-2.0], [3.0], [0.0]])
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(z.grad, [[1.0], [1.0], [0.0]])
+
+    @pytest.mark.parametrize("op", ["max", "min"])
+    def test_backward_routes_to_extremal_sources(self, sbm_graph, rng, op):
+        z_data = rng.standard_normal((sbm_graph.num_nodes, 4)).astype(np.float32)
+        grad_seed = rng.standard_normal(z_data.shape).astype(np.float32)
+        z = Tensor(z_data, requires_grad=True)
+        out = pool_aggregate(z, sbm_graph.src, sbm_graph.dst,
+                             sbm_graph.num_nodes, op=op)
+        out.backward(grad_seed)
+        expected = np.zeros_like(z_data)
+        for s, d in zip(sbm_graph.src, sbm_graph.dst):
+            mask = z_data[s] == out.data[d]
+            expected[s] += np.where(mask, grad_seed[d], 0.0)
+        np.testing.assert_allclose(z.grad, expected, rtol=1e-5, atol=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# distributed pooling (the new case-2 kernel)
+# --------------------------------------------------------------------------- #
+class TestDistributedPooling:
+    @pytest.mark.parametrize("op", ["max", "min"])
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS, ids=ENGINE_CONFIG_IDS)
+    def test_matches_single_machine(self, sbm_graph, rng, op, config):
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, 6)).astype(np.float32)
+        grad_seed = rng.standard_normal((n, 6)).astype(np.float32)
+        z_ref = Tensor(z_full, requires_grad=True)
+        ref_out = pool_aggregate(z_ref, sbm_graph.src, sbm_graph.dst, n, op=op)
+        ref_out.backward(grad_seed)
+
+        book, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, config)
+            dg.begin_step()
+            z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+            out = dg.aggregate_neighbors(z, op=op)
+            out.backward(grad_seed[shard.global_node_ids])
+            return out.data, z.grad
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[0] for r in result.results]), ref_out.data,
+            rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[1] for r in result.results]), z_ref.grad,
+            rtol=1e-5, atol=1e-5)
+
+    def test_pooling_is_case_2(self, sbm_graph, rng):
+        """Pooling gradients need neighbour values: SAR re-fetches, DP does not,
+        and SAR's total communication exceeds DP's by the re-fetch volume."""
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 4)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        tags, volumes = {}, {}
+        for mode in ("sar", "dp"):
+            def worker(rank, comm, shard, mode=mode):
+                dg = DistributedGraph(shard, comm, SARConfig(mode=mode))
+                dg.begin_step()
+                z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+                (dg.aggregate_neighbors(z, op="max") ** 2).sum().backward()
+                return dict(comm.stats.received_by_tag)
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            tags[mode] = result.results
+            volumes[mode] = sum(sum(t.values()) for t in result.results)
+        assert all("backward_refetch" in t for t in tags["sar"])
+        assert all("backward_refetch" not in t for t in tags["dp"])
+        assert volumes["sar"] > volumes["dp"]
+
+    @pytest.mark.parametrize("aggregator", ["max", "min"])
+    def test_sage_layer_parity(self, sbm_graph, rng, aggregator):
+        """A full SageConv with pooling matches the single-machine layer."""
+        set_seed(5)
+        layer = nn.SageConv(8, 5, aggregator=aggregator)
+        x_full = rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32)
+        expected = layer(sbm_graph, Tensor(x_full)).data
+        state = layer.state_dict()
+        book, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            replica = nn.SageConv(8, 5, aggregator=aggregator)
+            replica.load_state_dict(state)
+            dg = DistributedGraph(shard, comm, SAR)
+            dg.begin_step()
+            x = Tensor(x_full[shard.global_node_ids], requires_grad=True)
+            out = replica(dg, x)
+            (out ** 2).sum().backward()
+            return out.data, [p.grad.copy() for p in replica.parameters()]
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        out_global = book.scatter_to_global([r[0] for r in result.results])
+        np.testing.assert_allclose(out_global, expected, rtol=1e-4, atol=1e-4)
+
+        x_ref = Tensor(x_full, requires_grad=True)
+        layer.zero_grad()
+        (layer(sbm_graph, x_ref) ** 2).sum().backward()
+        for index, param in enumerate(layer.parameters()):
+            total = sum(r[1][index] for r in result.results)
+            np.testing.assert_allclose(total, param.grad, rtol=2e-3, atol=2e-3)
+
+
+# --------------------------------------------------------------------------- #
+# the prefetch pipeline
+# --------------------------------------------------------------------------- #
+class TestPrefetchPipeline:
+    def test_prefetch_changes_neither_results_nor_volume(self, sbm_graph, rng):
+        """The pipeline only overlaps fetches; bytes and math are unchanged."""
+        heads, dim = 2, 3
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        s_full = rng.standard_normal((n, heads)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+        outputs, volumes = {}, {}
+        for prefetch in (False, True):
+            def worker(rank, comm, shard, prefetch=prefetch):
+                dg = DistributedGraph(shard, comm, SARConfig("sar", prefetch=prefetch))
+                dg.begin_step()
+                ids = shard.global_node_ids
+                z = Tensor(z_full[ids], requires_grad=True)
+                sd = Tensor(s_full[ids], requires_grad=True)
+                ss = Tensor(s_full[ids], requires_grad=True)
+                out = dg.gat_aggregate(z, sd, ss)
+                (out ** 2).sum().backward()
+                return out.data, z.grad, comm.stats.total_bytes
+
+            result = run_distributed(worker, WORLD, worker_args=shards)
+            outputs[prefetch] = result.results
+            volumes[prefetch] = sum(r[2] for r in result.results)
+        for no_pf, pf in zip(outputs[False], outputs[True]):
+            np.testing.assert_allclose(pf[0], no_pf[0], rtol=1e-6, atol=1e-6)
+            np.testing.assert_allclose(pf[1], no_pf[1], rtol=1e-6, atol=1e-6)
+        assert volumes[True] == volumes[False]
+
+    @pytest.mark.parametrize("config,expectation", [
+        (SAR, "one"), (SAR_PREFETCH, "two"), (DOMAIN_PARALLEL, "all"),
+    ], ids=ENGINE_CONFIG_IDS)
+    def test_resident_remote_blocks_bound(self, sbm_graph, rng, config, expectation):
+        """SAR keeps one remote halo block resident, prefetching at most two,
+        vanilla DP all of them — the paper's 2/N vs 3/N memory accounting."""
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 4)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, config)
+            dg.begin_step()
+            z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+            (dg.aggregate_neighbors(z, op="max") ** 2).sum().backward()
+            remote_blocks = sum(
+                1 for q, b in enumerate(shard.blocks)
+                if q != rank and b.num_edges > 0
+            )
+            return dg.engine.max_resident_remote_blocks, remote_blocks
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        for peak, remote_blocks in result.results:
+            assert remote_blocks >= 2  # otherwise the bound is vacuous
+            if expectation == "one":
+                assert peak == 1
+            elif expectation == "two":
+                assert 1 <= peak <= 2
+            else:
+                assert peak == remote_blocks
+
+    def test_prefetch_parity_mean_and_rgcn(self, sbm_graph, rng):
+        """Case-1 (mean) and the multi-pass R-GCN kernel are prefetch-safe."""
+        z_full = rng.standard_normal((sbm_graph.num_nodes, 5)).astype(np.float32)
+        grad_seed = rng.standard_normal(z_full.shape).astype(np.float32)
+        adj = sbm_graph.adjacency(normalization="mean")
+        book, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SAR_PREFETCH)
+            dg.begin_step()
+            z = Tensor(z_full[shard.global_node_ids], requires_grad=True)
+            out = dg.aggregate_neighbors(z, op="mean")
+            out.backward(grad_seed[shard.global_node_ids])
+            return out.data, z.grad
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[0] for r in result.results]),
+            np.asarray(adj @ z_full), rtol=1e-3, atol=1e-3)
+        np.testing.assert_allclose(
+            book.scatter_to_global([r[1] for r in result.results]),
+            np.asarray(adj.T @ grad_seed), rtol=1e-3, atol=1e-3)
+
+        # R-GCN: one engine pass per relation, under the prefetch pipeline.
+        dataset = make_hetero_sbm_dataset(
+            "engine-mag", num_nodes=160, num_classes=4, feature_dim=6,
+            relation_specs={
+                "a": {"p_in": 0.1, "p_out": 0.01},
+                "b": {"p_in": 0.05, "p_out": 0.02},
+            }, seed=4,
+        )
+        hetero = dataset.hetero_graph
+        assignment = partition_graph(dataset.graph, WORLD, seed=0)
+        hbook = PartitionBook(assignment, WORLD)
+        hshards = create_hetero_shards(hetero, hbook)
+        set_seed(9)
+        layer = nn.RelGraphConv(6, 5, ["a", "b"], num_bases=2)
+        x_full = rng.standard_normal((hetero.num_nodes, 6)).astype(np.float32)
+        expected = layer(hetero, Tensor(x_full)).data
+        state = layer.state_dict()
+
+        def hetero_worker(rank, comm, shard):
+            replica = nn.RelGraphConv(6, 5, ["a", "b"], num_bases=2)
+            replica.load_state_dict(state)
+            dg = DistributedHeteroGraph(shard, comm, SAR_PREFETCH)
+            dg.begin_step()
+            x = Tensor(x_full[shard.global_node_ids], requires_grad=True)
+            out = replica(dg, x)
+            (out ** 2).sum().backward()
+            return out.data
+
+        hresult = run_distributed(hetero_worker, WORLD, worker_args=hshards)
+        np.testing.assert_allclose(
+            hbook.scatter_to_global(hresult.results), expected, rtol=1e-3, atol=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end pooling-SAGE training through the engine
+# --------------------------------------------------------------------------- #
+class TestPoolingSageTrainsEndToEnd:
+    def test_max_pool_sage_trains_under_sar(self, small_dataset):
+        dataset = small_dataset
+        dataset.attach_to_graph()
+        assignment = partition_graph(dataset.graph, WORLD, seed=0)
+        book = PartitionBook(assignment, WORLD)
+        shards = create_shards(dataset.graph, book)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SAR_PREFETCH)
+            model = nn.GraphSageNet(dataset.feature_dim, 16, dataset.num_classes,
+                                    num_layers=2, dropout=0.0, use_batch_norm=False,
+                                    aggregator="max")
+            broadcast_parameters(model.parameters(), comm)
+            optimizer = Adam(model.parameters(), lr=0.05)
+            feats = shard.node_data["feat"]
+            labels = shard.node_data["label"]
+            train_mask = shard.node_data["train_mask"].astype(bool)
+            losses = []
+            for _ in range(5):
+                dg.begin_step()
+                logits = model(dg, Tensor(feats))
+                if train_mask.any():
+                    loss = F.cross_entropy(logits[train_mask], labels[train_mask],
+                                           reduction="sum")
+                else:
+                    loss = logits.sum() * 0.0
+                model.zero_grad()
+                loss.backward()
+                global_count = comm.allreduce_scalar(float(train_mask.sum()))
+                sync_gradients(model.parameters(), comm,
+                               scale=1.0 / max(global_count, 1.0))
+                optimizer.step()
+                losses.append(comm.allreduce_scalar(float(loss.data)) / global_count)
+            return losses, dg.engine.max_resident_remote_blocks
+
+        result = run_distributed(worker, WORLD, worker_args=shards, timeout_s=300)
+        losses = [r[0] for r in result.results]
+        # Workers run replicas: every worker sees the same global loss curve.
+        for other in losses[1:]:
+            np.testing.assert_allclose(other, losses[0], rtol=1e-5)
+        assert all(np.isfinite(losses[0]))
+        assert losses[0][-1] < losses[0][0]
+        # SAR memory behaviour: never more than two remote halo blocks
+        # (the computing block plus the prefetched one) were resident.
+        for _, peak in result.results:
+            assert peak <= 2
+
+
+# --------------------------------------------------------------------------- #
+# communication accounting and the cost model's overlap term
+# --------------------------------------------------------------------------- #
+class TestCommAccounting:
+    def test_per_tag_totals_are_symmetric(self, sbm_graph, rng):
+        """Cluster-wide, bytes sent under a tag equal bytes received under it."""
+        heads, dim = 2, 2
+        n = sbm_graph.num_nodes
+        z_full = rng.standard_normal((n, heads, dim)).astype(np.float32)
+        s_full = rng.standard_normal((n, heads)).astype(np.float32)
+        _, shards = _shards_for(sbm_graph)
+
+        def worker(rank, comm, shard):
+            dg = DistributedGraph(shard, comm, SAR)
+            dg.begin_step()
+            ids = shard.global_node_ids
+            z = Tensor(z_full[ids], requires_grad=True)
+            sd = Tensor(s_full[ids], requires_grad=True)
+            ss = Tensor(s_full[ids], requires_grad=True)
+            (dg.gat_aggregate(z, sd, ss) ** 2).sum().backward()
+            return None
+
+        result = run_distributed(worker, WORLD, worker_args=shards)
+        sent = result.total_sent_by_tag()
+        received = result.total_received_by_tag()
+        assert set(sent) == set(received)
+        for tag in sent:
+            assert sent[tag] == received[tag], tag
+        assert {"forward_halo", "backward_refetch", "backward_error"} <= set(sent)
+
+    def test_overlap_tags_hide_comm_behind_compute(self):
+        def worker(rank, comm):
+            comm.publish("x", np.ones((4000, 32), dtype=np.float32))
+            comm.fetch((rank + 1) % comm.world_size, "x", tag="forward_halo")
+            # Enough compute for a measurable thread-CPU time.
+            m = np.random.default_rng(rank).standard_normal((300, 300))
+            for _ in range(20):
+                m = m @ m.T
+                m /= np.abs(m).max()
+            comm.barrier()
+            return None
+
+        result = run_distributed(worker, 2)
+        spec = ClusterSpec(bandwidth_mbps=1.0, latency_s=0.0)
+        serial = epoch_cost(result, spec)
+        overlapped = epoch_cost(result, spec, overlap_tags=PREFETCH_OVERLAP_TAGS)
+        assert overlapped.hidden_comm_time_s > 0
+        assert overlapped.epoch_time_s < serial.epoch_time_s
+        # Hiding is capped by both compute time and total comm time.
+        for w in overlapped.workers:
+            assert w.hidden_comm_time_s <= w.compute_time_s + 1e-12
+            assert w.hidden_comm_time_s <= w.comm_time_s + 1e-12
