@@ -129,6 +129,7 @@ class GATKernel(BlockKernel):
             lambda weights, _block=block, _z=z_q: self._weighted_aggregate(
                 _block, weights, _z
             ),
+            plan=block.plan(),
         )
 
     def forward_finalize(self) -> np.ndarray:
@@ -152,6 +153,7 @@ class GATKernel(BlockKernel):
     def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                        feats: Optional[np.ndarray]) -> np.ndarray:
         z_q, ss_q = self._unpack(feats)
+        plan = block.plan()
         # ---- rematerialize the per-edge attention coefficients ----------- #
         stored = self._saved_logits.get(q) if self.config.is_domain_parallel else None
         if stored is not None:
@@ -165,14 +167,21 @@ class GATKernel(BlockKernel):
         alpha = weights / self.denominator[block.dst_local]
 
         # ---- gradients --------------------------------------------------- #
-        grad_z_q = self._weighted_transpose(block, alpha, self._grad_out)
+        if plan is not None:
+            grad_z_q = plan.u_mul_e_sum_t(self._grad_out, alpha)
+        else:
+            grad_z_q = self._weighted_transpose(block, alpha, self._grad_out)
         grad_alpha = np.einsum("ehd,ehd->eh", z_q[block.src_index],
                                self._grad_out[block.dst_local])
         grad_logits = alpha * (grad_alpha - self._weighted_sum[block.dst_local])
         positive = logits > 0 if raw is None else raw > 0
         grad_raw = np.where(positive, grad_logits, self.negative_slope * grad_logits)
-        grad_ss_q = segment_sum_np(grad_raw, block.src_index, z_q.shape[0])
-        self._grad_sd += segment_sum_np(grad_raw, block.dst_local, self.num_local)
+        if plan is not None:
+            grad_ss_q = plan.segment_sum_src(grad_raw)
+            self._grad_sd += plan.segment_sum(grad_raw)
+        else:
+            grad_ss_q = segment_sum_np(grad_raw, block.src_index, z_q.shape[0])
+            self._grad_sd += segment_sum_np(grad_raw, block.dst_local, self.num_local)
         return pack_features(grad_z_q, grad_ss_q)
 
     def error_target(self, p: KernelPass) -> np.ndarray:
@@ -188,6 +197,9 @@ class GATKernel(BlockKernel):
     def _weighted_aggregate(self, block: EdgeBlock, weights: np.ndarray,
                             values: np.ndarray) -> np.ndarray:
         """``out[d] += Σ_e w_e · values[src_e]`` for one block (per head)."""
+        plan = block.plan()
+        if plan is not None:
+            return plan.u_mul_e_sum(values, weights)
         out = np.empty((self.num_local, self.heads, self.dim), dtype=values.dtype)
         for h in range(self.heads):
             out[:, h, :] = block.weighted_matrix(weights[:, h]) @ values[:, h, :]

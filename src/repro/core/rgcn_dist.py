@@ -84,7 +84,11 @@ class RGCNKernel(BlockKernel):
 
     def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                       feats: np.ndarray) -> None:
-        self._relation_acc += block.aggregation_matrix() @ (feats @ self._w_r)
+        plan = block.plan()
+        if plan is not None:
+            self._relation_acc += plan.aggregate_sum(feats @ self._w_r)
+        else:
+            self._relation_acc += block.aggregation_matrix() @ (feats @ self._w_r)
 
     def end_pass(self, p: KernelPass, backward: bool) -> None:
         if not backward:
@@ -102,7 +106,11 @@ class RGCNKernel(BlockKernel):
 
     def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                        feats: Optional[np.ndarray]) -> np.ndarray:
-        grad_z = block.aggregation_matrix(transpose=True) @ self._grad_scaled
+        plan = block.plan()
+        if plan is not None:
+            grad_z = plan.aggregate_sum_t(self._grad_scaled)
+        else:
+            grad_z = block.aggregation_matrix(transpose=True) @ self._grad_scaled
         # dW_r needs the (possibly re-fetched) neighbour feature values.
         self._grad_weights[p.index] += (feats.T @ grad_z).reshape(-1)
         return grad_z @ self._w_r.T

@@ -68,7 +68,11 @@ class SumMeanKernel(BlockKernel):
 
     def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                       feats: np.ndarray) -> None:
-        self._acc += block.aggregation_matrix() @ feats
+        plan = block.plan()
+        if plan is not None:
+            self._acc += plan.aggregate_sum(feats)
+        else:
+            self._acc += block.aggregation_matrix() @ feats
 
     def forward_finalize(self) -> np.ndarray:
         self.degrees = np.maximum(self.shard.local_in_degrees, 1).astype(self.data.dtype)
@@ -86,6 +90,9 @@ class SumMeanKernel(BlockKernel):
 
     def backward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                        feats: Optional[np.ndarray]) -> np.ndarray:
+        plan = block.plan()
+        if plan is not None:
+            return plan.aggregate_sum_t(self._grad)
         return block.aggregation_matrix(transpose=True) @ self._grad
 
     def error_target(self, p: KernelPass) -> np.ndarray:
@@ -133,6 +140,13 @@ class PoolingKernel(BlockKernel):
 
     def forward_block(self, p: KernelPass, q: int, block: EdgeBlock,
                       feats: np.ndarray) -> None:
+        plan = block.plan()
+        if plan is not None:
+            if self.op == "max":
+                np.maximum(self._acc, plan.aggregate_max(feats), out=self._acc)
+            else:
+                np.minimum(self._acc, plan.aggregate_min(feats), out=self._acc)
+            return
         gathered = feats[block.src_index]
         if self.op == "max":
             reduced = segment_max_np(gathered, block.dst_local, self.shard.num_local_nodes)
@@ -156,6 +170,9 @@ class PoolingKernel(BlockKernel):
         gathered = feats[block.src_index]
         mask = gathered == self.out[block.dst_local]
         contrib = np.where(mask, self._grad_out[block.dst_local], 0.0)
+        plan = block.plan()
+        if plan is not None:
+            return plan.segment_sum_src(contrib).astype(self._grad_out.dtype, copy=False)
         error = np.zeros((block.num_required_src, self.data.shape[1]),
                          dtype=self._grad_out.dtype)
         np.add.at(error, block.src_index, contrib)

@@ -16,10 +16,11 @@ overflows and destabilizes training as soon as attention logits are large.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.tensor.edge_plan import EdgePlan
 from repro.tensor.sparse import segment_max_np, segment_sum_np
 
 _TINY = np.float64(np.finfo(np.float32).tiny)
@@ -56,7 +57,7 @@ class RunningSoftmaxAccumulator:
 
     # ------------------------------------------------------------------ #
     def add_block(self, logits: np.ndarray, values: np.ndarray, dst: np.ndarray,
-                  aggregate_fn) -> None:
+                  aggregate_fn, plan: Optional[EdgePlan] = None) -> None:
         """Fold one edge block into the accumulators.
 
         Parameters
@@ -72,13 +73,17 @@ class RunningSoftmaxAccumulator:
             weighted sum of ``values`` into destination rows; the caller
             provides it because the sparse structure (and its cached CSR) is
             block-specific.
+        plan:
+            Optional :class:`~repro.tensor.edge_plan.EdgePlan` of the block's
+            edges; the running max/sum statistics then reuse its cached sort
+            instead of re-deriving sparsity per block visit.
         """
         if logits.shape[1] != self.num_heads:
             raise ValueError(
                 f"logits has {logits.shape[1]} heads, accumulator expects {self.num_heads}"
             )
         if self.stable:
-            block_max = segment_max_np(logits, dst, self.num_nodes)
+            block_max = segment_max_np(logits, dst, self.num_nodes, plan=plan)
             new_max = np.maximum(self.running_max, block_max)
             # Nodes that still have no incoming edges keep -inf; exp(-inf - -inf)
             # would be NaN, so rescaling is guarded.
@@ -94,7 +99,7 @@ class RunningSoftmaxAccumulator:
             weights = np.exp(logits - safe_new_max[dst])
         else:
             weights = np.exp(logits)
-        self.denominator += segment_sum_np(weights, dst, self.num_nodes)
+        self.denominator += segment_sum_np(weights, dst, self.num_nodes, plan=plan)
         self.numerator += aggregate_fn(weights)
 
     # ------------------------------------------------------------------ #

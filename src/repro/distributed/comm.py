@@ -84,14 +84,18 @@ class CommStats:
         return sent, received
 
     def snapshot(self) -> Dict[str, int]:
-        out = {
-            "bytes_sent": self.bytes_sent,
-            "bytes_received": self.bytes_received,
-            "messages_sent": self.messages_sent,
-            "messages_received": self.messages_received,
-        }
-        out.update({f"sent:{k}": v for k, v in sorted(self.sent_by_tag.items())})
-        out.update({f"recv:{k}": v for k, v in sorted(self.received_by_tag.items())})
+        # Counters are written from other workers' threads (and the prefetch
+        # thread), so a consistent snapshot must hold the same lock as the
+        # writers.
+        with self._lock:
+            out = {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "messages_sent": self.messages_sent,
+                "messages_received": self.messages_received,
+            }
+            out.update({f"sent:{k}": v for k, v in sorted(self.sent_by_tag.items())})
+            out.update({f"recv:{k}": v for k, v in sorted(self.received_by_tag.items())})
         return out
 
 

@@ -12,6 +12,7 @@ independent of host core counts.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -19,7 +20,6 @@ import numpy as np
 from repro.distributed.comm import Communicator, CommStats, reduce_arrays
 
 _DEFAULT_TIMEOUT_S = 120.0
-_POLL_INTERVAL_S = 0.002
 
 
 class ClusterAborted(RuntimeError):
@@ -76,24 +76,36 @@ class SharedStore:
         event.set()
 
     def wait_get(self, owner: int, key: str) -> np.ndarray:
-        """Block until ``(owner, key)`` is published; return the stored array."""
-        event = self._event_for(owner, key)
-        waited = 0.0
+        """Block until ``(owner, key)`` is published; return the stored array.
+
+        The wait parks on the publish event (``abort`` sets every registered
+        event, so failures wake blocked readers) instead of spinning on a
+        2 ms poll.  Waits are sliced so the event reference is re-acquired a
+        few times per second: ``remove()`` discards the event object, and a
+        reader parked on a discarded event would otherwise miss both a
+        re-publish (which installs a fresh event) and ``abort`` (which only
+        sets events still registered).
+        """
+        deadline = time.monotonic() + self.timeout_s
         while True:
             self._check_failure()
-            if event.wait(_POLL_INTERVAL_S):
-                self._check_failure()
-                with self._lock:
-                    if (owner, key) in self._data:
-                        return self._data[(owner, key)]
-                # Event set by abort() without data.
-                self._check_failure()
-            waited += _POLL_INTERVAL_S
-            if waited > self.timeout_s:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"Timed out waiting for rank {owner} to publish {key!r} "
                     f"after {self.timeout_s:.0f}s"
                 )
+            event = self._event_for(owner, key)
+            if not event.wait(min(remaining, 0.1)):
+                continue
+            self._check_failure()
+            with self._lock:
+                if (owner, key) in self._data:
+                    return self._data[(owner, key)]
+            # Event set without data: abort() (raises below) or a transient
+            # publish/remove race — back off briefly instead of spinning.
+            self._check_failure()
+            time.sleep(0.002)
 
     def try_get(self, owner: int, key: str) -> Optional[np.ndarray]:
         with self._lock:
@@ -138,7 +150,10 @@ class ThreadCommunicator(Communicator):
               tag: str = "halo") -> np.ndarray:
         if owner_rank == self.rank:
             array = self._store.wait_get(owner_rank, key)
-            return array[rows] if rows is not None else array
+            # A row fetch already copies (fancy indexing); the whole-array
+            # case must copy too — returning the published array itself would
+            # let caller mutation silently corrupt what peers fetch.
+            return array[rows] if rows is not None else array.copy()
         array = self._store.wait_get(owner_rank, key)
         out = array[np.asarray(rows)].copy() if rows is not None else array.copy()
         nbytes = out.nbytes

@@ -14,6 +14,8 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor import edge_plan as edge_plan_mod
+from repro.tensor.edge_plan import EdgePlan
 from repro.utils.validation import check_1d_int_array, check_positive_int
 
 
@@ -46,6 +48,7 @@ class Graph:
             for key, value in ndata.items():
                 self.set_ndata(key, value)
         self._adj_cache: Dict[Tuple[bool, str], sp.csr_matrix] = {}
+        self._plan: Optional[EdgePlan] = None
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -64,6 +67,25 @@ class Graph:
                 f"ndata[{key!r}] first dimension must be {self.num_nodes}, got {value.shape[0]}"
             )
         self.ndata[key] = value
+
+    # ------------------------------------------------------------------ #
+    # the edge plan (sort-once/reduce-many kernel layer)
+    # ------------------------------------------------------------------ #
+    def plan(self) -> Optional[EdgePlan]:
+        """The graph's :class:`~repro.tensor.edge_plan.EdgePlan`, built lazily.
+
+        The plan caches the destination-sorted edge order and CSR structures
+        that every message-passing kernel executes through; after the first
+        call no training iteration derives sparsity again.  Returns ``None``
+        while plans are globally disabled
+        (:func:`repro.tensor.edge_plan.plans_disabled`), which switches the
+        layers to their naive reference kernels.
+        """
+        if not edge_plan_mod.plans_enabled():
+            return None
+        if self._plan is None:
+            self._plan = EdgePlan(self.src, self.dst, self.num_nodes, self.num_nodes)
+        return self._plan
 
     # ------------------------------------------------------------------ #
     # degrees and adjacency

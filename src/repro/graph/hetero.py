@@ -14,6 +14,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.tensor import edge_plan as edge_plan_mod
+from repro.tensor.edge_plan import EdgePlan
 from repro.utils.validation import check_1d_int_array, check_positive_int
 
 
@@ -54,6 +56,7 @@ class HeteroGraph:
             self.node_types = check_1d_int_array(node_types, "node_types")
             if len(self.node_types) != self.num_nodes:
                 raise ValueError("node_types must have length num_nodes")
+        self._plan_cache: Dict[str, EdgePlan] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -89,6 +92,23 @@ class HeteroGraph:
             raise KeyError(
                 f"Unknown relation {relation!r}; available: {self.relation_names}"
             )
+
+    # ------------------------------------------------------------------ #
+    def relation_plan(self, relation: str) -> Optional[EdgePlan]:
+        """One relation's :class:`~repro.tensor.edge_plan.EdgePlan` (lazy, cached).
+
+        ``None`` while plans are globally disabled, in which case the R-GCN
+        layer falls back to the cached-adjacency SpMM path.
+        """
+        self._check_relation(relation)
+        if not edge_plan_mod.plans_enabled():
+            return None
+        plan = self._plan_cache.get(relation)
+        if plan is None:
+            src, dst = self.relations[relation]
+            plan = EdgePlan(src, dst, self.num_nodes, self.num_nodes)
+            self._plan_cache[relation] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     def relation_adjacency(self, relation: str, transpose: bool = False,

@@ -32,12 +32,19 @@ def message_flow_masks(graph: Graph, seed_nodes, num_layers: int) -> List[np.nda
     current = np.zeros(graph.num_nodes, dtype=bool)
     current[seeds] = True
     masks[num_layers] = current.copy()
-    # adjacency()[d, s] = 1 for edge s→d; to expand "needed outputs" into
-    # "needed inputs" we walk edges backwards: a destination needs all of its
-    # in-neighbours, i.e. needed_src = A^T applied to needed_dst.
-    adj_t = graph.adjacency(transpose=True)
+    # To expand "needed outputs" into "needed inputs" we walk edges backwards:
+    # a destination needs all of its in-neighbours, i.e. a source is reached
+    # when any of its out-edges points at a needed destination.  The graph's
+    # edge plan provides exactly that transpose reduction from its cached
+    # source-major structure; without a plan we fall back to A^T @ mask.
+    plan = graph.plan()
+    adj_t = graph.adjacency(transpose=True) if plan is None else None
     for layer in range(num_layers - 1, -1, -1):
-        reached = (adj_t @ current.astype(np.float32)) > 0
+        needed = current.astype(np.float32)
+        if plan is not None:
+            reached = plan.aggregate_sum_t(needed) > 0
+        else:
+            reached = (adj_t @ needed) > 0
         current = current | reached
         masks[layer] = current.copy()
     return masks

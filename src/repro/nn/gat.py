@@ -23,7 +23,7 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
 from repro.tensor import init, ops
-from repro.tensor.sparse import edge_softmax, u_mul_e_sum
+from repro.tensor.sparse import edge_softmax, u_add_v, u_mul_e_sum
 from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
 
@@ -103,13 +103,16 @@ class GATConv(GATBase):
     def _aggregate_local(self, graph: Graph, z: Tensor, score_dst: Tensor,
                          score_src: Tensor) -> Tensor:
         src, dst = graph.src, graph.dst
+        plan = graph.plan()
         # Per-edge attention logits (E, H): materialized and saved by autograd.
-        logits = F.leaky_relu(
-            ops.gather(score_dst, dst) + ops.gather(score_src, src), self.negative_slope
-        )
+        if plan is not None:
+            raw = u_add_v(score_dst, score_src, plan)
+        else:
+            raw = ops.gather(score_dst, dst) + ops.gather(score_src, src)
+        logits = F.leaky_relu(raw, self.negative_slope)
         # Normalized attention coefficients (E, H): another materialized tensor.
-        alpha = edge_softmax(logits, dst, graph.num_nodes)
-        return u_mul_e_sum(z, alpha, src, dst, graph.num_nodes)
+        alpha = edge_softmax(logits, dst, graph.num_nodes, plan=plan)
+        return u_mul_e_sum(z, alpha, src, dst, graph.num_nodes, plan=plan)
 
     def __repr__(self) -> str:
         return (

@@ -22,13 +22,14 @@ these intermediates during the backward pass anyway.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.graph import Graph
 from repro.nn.gat import GATBase
+from repro.tensor.edge_plan import EdgePlan
 from repro.tensor.sparse import segment_max_np, segment_sum_np
 from repro.tensor.tensor import Function, Tensor
 
@@ -37,49 +38,61 @@ _TINY = np.finfo(np.float32).tiny
 
 def fused_gat_forward_np(z: np.ndarray, score_dst: np.ndarray, score_src: np.ndarray,
                          src: np.ndarray, dst: np.ndarray, num_nodes: int,
-                         negative_slope: float) -> np.ndarray:
+                         negative_slope: float,
+                         plan: Optional[EdgePlan] = None) -> np.ndarray:
     """Single-pass attention aggregation (no per-edge tensor survives the call)."""
     raw = score_dst[dst] + score_src[src]
     logits = np.where(raw > 0, raw, negative_slope * raw)
-    maxes = segment_max_np(logits, dst, num_nodes)
+    maxes = segment_max_np(logits, dst, num_nodes, plan=plan)
     maxes = np.where(np.isfinite(maxes), maxes, 0.0)
     weights = np.exp(logits - maxes[dst])
-    denom = np.maximum(segment_sum_np(weights, dst, num_nodes), _TINY)
+    denom = np.maximum(segment_sum_np(weights, dst, num_nodes, plan=plan), _TINY)
     heads, dim = z.shape[1], z.shape[2]
-    numer = np.empty((num_nodes, heads, dim), dtype=z.dtype)
-    for h in range(heads):
-        adj = sp.csr_matrix((weights[:, h], (dst, src)), shape=(num_nodes, z.shape[0]))
-        numer[:, h, :] = adj @ z[:, h, :]
+    if plan is not None:
+        numer = plan.u_mul_e_sum(z, weights)
+    else:
+        numer = np.empty((num_nodes, heads, dim), dtype=z.dtype)
+        for h in range(heads):
+            adj = sp.csr_matrix((weights[:, h], (dst, src)), shape=(num_nodes, z.shape[0]))
+            numer[:, h, :] = adj @ z[:, h, :]
     return numer / denom[:, :, None]
 
 
 def fused_gat_backward_np(grad_out: np.ndarray, z: np.ndarray, score_dst: np.ndarray,
                           score_src: np.ndarray, src: np.ndarray, dst: np.ndarray,
-                          num_nodes: int, negative_slope: float
+                          num_nodes: int, negative_slope: float,
+                          plan: Optional[EdgePlan] = None
                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Recompute attention coefficients and backpropagate through the aggregation."""
     # Rematerialize the attention coefficients (the extra compute of the fused kernel).
     raw = score_dst[dst] + score_src[src]
     logits = np.where(raw > 0, raw, negative_slope * raw)
-    maxes = segment_max_np(logits, dst, num_nodes)
+    maxes = segment_max_np(logits, dst, num_nodes, plan=plan)
     maxes = np.where(np.isfinite(maxes), maxes, 0.0)
     weights = np.exp(logits - maxes[dst])
-    denom = np.maximum(segment_sum_np(weights, dst, num_nodes), _TINY)
+    denom = np.maximum(segment_sum_np(weights, dst, num_nodes, plan=plan), _TINY)
     alpha = weights / denom[dst]
 
     heads = z.shape[1]
     # Gradient w.r.t. z: transpose-aggregate the output gradient with weights alpha.
-    grad_z = np.empty_like(z)
-    for h in range(heads):
-        adj_t = sp.csr_matrix((alpha[:, h], (src, dst)), shape=(z.shape[0], num_nodes))
-        grad_z[:, h, :] = adj_t @ grad_out[:, h, :]
+    if plan is not None:
+        grad_z = plan.u_mul_e_sum_t(grad_out, alpha)
+    else:
+        grad_z = np.empty_like(z)
+        for h in range(heads):
+            adj_t = sp.csr_matrix((alpha[:, h], (src, dst)), shape=(z.shape[0], num_nodes))
+            grad_z[:, h, :] = adj_t @ grad_out[:, h, :]
     # Gradient w.r.t. the normalized coefficients, then through the softmax.
     grad_alpha = np.einsum("ehd,ehd->eh", z[src], grad_out[dst])
-    weighted = segment_sum_np(alpha * grad_alpha, dst, num_nodes)
+    weighted = segment_sum_np(alpha * grad_alpha, dst, num_nodes, plan=plan)
     grad_logits = alpha * (grad_alpha - weighted[dst])
     grad_raw = np.where(raw > 0, grad_logits, negative_slope * grad_logits)
-    grad_score_dst = segment_sum_np(grad_raw, dst, num_nodes).astype(score_dst.dtype)
-    grad_score_src = segment_sum_np(grad_raw, src, num_nodes).astype(score_src.dtype)
+    if plan is not None:
+        grad_score_dst = plan.segment_sum(grad_raw).astype(score_dst.dtype)
+        grad_score_src = plan.segment_sum_src(grad_raw).astype(score_src.dtype)
+    else:
+        grad_score_dst = segment_sum_np(grad_raw, dst, num_nodes).astype(score_dst.dtype)
+        grad_score_src = segment_sum_np(grad_raw, src, num_nodes).astype(score_src.dtype)
     return grad_z, grad_score_dst, grad_score_src
 
 
@@ -88,19 +101,21 @@ class FusedGATAggregation(Function):
 
     def forward(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
                 src: np.ndarray, dst: np.ndarray, num_nodes: int,
-                negative_slope: float) -> np.ndarray:
+                negative_slope: float, plan: Optional[EdgePlan] = None) -> np.ndarray:
         out = fused_gat_forward_np(
-            z.data, score_dst.data, score_src.data, src, dst, num_nodes, negative_slope
+            z.data, score_dst.data, score_src.data, src, dst, num_nodes,
+            negative_slope, plan=plan
         )
         # Only node-level arrays are saved; per-edge intermediates are recomputed.
         self.save_for_backward(z.data, score_dst.data, score_src.data, src, dst,
-                               num_nodes, negative_slope)
+                               num_nodes, negative_slope, plan)
         return out
 
     def backward(self, grad_out):
-        z, score_dst, score_src, src, dst, num_nodes, negative_slope = self.saved
+        z, score_dst, score_src, src, dst, num_nodes, negative_slope, plan = self.saved
         return fused_gat_backward_np(
-            grad_out, z, score_dst, score_src, src, dst, num_nodes, negative_slope
+            grad_out, z, score_dst, score_src, src, dst, num_nodes, negative_slope,
+            plan=plan
         )
 
 
@@ -120,7 +135,7 @@ class FusedGATConv(GATBase):
         if isinstance(graph, Graph):
             aggregated = FusedGATAggregation.apply(
                 z, score_dst, score_src, graph.src, graph.dst, graph.num_nodes,
-                self.negative_slope,
+                self.negative_slope, graph.plan(),
             )
         else:
             aggregated = graph.gat_aggregate(

@@ -17,7 +17,7 @@ from repro.graph.hetero import HeteroGraph
 from repro.nn.linear import Linear
 from repro.nn.module import Module, Parameter
 from repro.tensor import init, ops
-from repro.tensor.sparse import spmm
+from repro.tensor.sparse import neighbor_aggregate, spmm
 from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
 
@@ -100,9 +100,14 @@ class RelGraphConv(Module):
             out: Optional[Tensor] = None
             for index, relation in enumerate(self.relation_names):
                 z_r = x @ self.relation_weight(index)
-                adj = graph.relation_adjacency(relation, normalization="mean")
-                adj_t = graph.relation_adjacency(relation, transpose=True, normalization="mean")
-                contribution = spmm(z_r, adj, adj_t)
+                plan = graph.relation_plan(relation)
+                if plan is not None:
+                    contribution = neighbor_aggregate(z_r, plan, op="mean")
+                else:
+                    adj = graph.relation_adjacency(relation, normalization="mean")
+                    adj_t = graph.relation_adjacency(relation, transpose=True,
+                                                     normalization="mean")
+                    contribution = spmm(z_r, adj, adj_t)
                 out = contribution if out is None else out + contribution
         else:
             out = graph.rgcn_aggregate(

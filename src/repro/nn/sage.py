@@ -21,7 +21,7 @@ from repro.graph.graph import Graph
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor import functional as F
-from repro.tensor.sparse import pool_aggregate, spmm
+from repro.tensor.sparse import neighbor_aggregate, pool_aggregate, spmm
 from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
 
@@ -63,9 +63,12 @@ class SageConv(Module):
             )
         z = self.neighbor_linear(x)
         if isinstance(graph, Graph):
+            plan = graph.plan()
             if self.aggregator in ("max", "min"):
                 aggregated = pool_aggregate(z, graph.src, graph.dst, graph.num_nodes,
-                                            op=self.aggregator)
+                                            op=self.aggregator, plan=plan)
+            elif plan is not None:
+                aggregated = neighbor_aggregate(z, plan, op=self.aggregator)
             else:
                 norm = self.aggregator if self.aggregator == "mean" else "none"
                 aggregated = spmm(z, graph.adjacency(normalization=norm),

@@ -23,6 +23,8 @@ import scipy.sparse as sp
 from repro.graph.graph import Graph
 from repro.graph.hetero import HeteroGraph
 from repro.partition.book import PartitionBook
+from repro.tensor import edge_plan as edge_plan_mod
+from repro.tensor.edge_plan import EdgePlan
 
 
 @dataclass
@@ -43,6 +45,8 @@ class EdgeBlock:
     #: lazily built ``(edge_order, indices, indptr)`` CSR sparsity structure,
     #: keyed by orientation — shared by every weighted matrix of this block
     _structure_cache: Dict[bool, tuple] = field(default_factory=dict, repr=False)
+    #: lazily built edge plan this block's kernels execute through
+    _plan: Optional[EdgePlan] = field(default=None, repr=False)
 
     @property
     def num_edges(self) -> int:
@@ -51,6 +55,23 @@ class EdgeBlock:
     @property
     def num_required_src(self) -> int:
         return len(self.required_src_local)
+
+    def plan(self) -> Optional[EdgePlan]:
+        """This block's :class:`~repro.tensor.edge_plan.EdgePlan` (lazy, cached).
+
+        The plan is built over the block's *compact* edge list — per-edge
+        indices into :attr:`required_src_local` and local destination ids —
+        so the SAR kernels aggregate fetched feature rows through it without
+        any per-call sparsity construction.  ``None`` while plans are
+        globally disabled (the kernels then fall back to the cached scipy
+        matrices / ``ufunc.at`` reference path).
+        """
+        if not edge_plan_mod.plans_enabled():
+            return None
+        if self._plan is None:
+            self._plan = EdgePlan(self.src_index, self.dst_local,
+                                  self.num_dst, self.num_required_src)
+        return self._plan
 
     def _shape(self, transpose: bool) -> tuple:
         if transpose:
@@ -63,19 +84,26 @@ class EdgeBlock:
         Sorting the edges happens once; after that any edge-weighted matrix
         is assembled by permuting its weights into the cached layout (parallel
         edges stay as separate stored entries, which scipy's matvec sums).
+        When the block's edge plan is available its orientation *is* this
+        layout, so the sort is shared rather than derived twice.
         """
         cached = self._structure_cache.get(transpose)
         if cached is None:
-            if transpose:
-                rows, cols = self.src_index, self.dst_local
+            plan = self.plan()
+            if plan is not None:
+                orientation = plan._o(transpose)
+                cached = (orientation.order, orientation.indices, orientation.indptr)
             else:
-                rows, cols = self.dst_local, self.src_index
-            num_rows = self._shape(transpose)[0]
-            order = np.lexsort((cols, rows))
-            indices = cols[order]
-            indptr = np.zeros(num_rows + 1, dtype=np.int64)
-            np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
-            cached = (order, indices, indptr)
+                if transpose:
+                    rows, cols = self.src_index, self.dst_local
+                else:
+                    rows, cols = self.dst_local, self.src_index
+                num_rows = self._shape(transpose)[0]
+                order = np.lexsort((cols, rows))
+                indices = cols[order]
+                indptr = np.zeros(num_rows + 1, dtype=np.int64)
+                np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
+                cached = (order, indices, indptr)
             self._structure_cache[transpose] = cached
         return cached
 

@@ -20,6 +20,8 @@ from repro.tensor.tensor import (
     DEFAULT_DTYPE,
 )
 from repro.tensor.memory import MemoryTracker, track_memory, active_tracker, no_tracking
+from repro.tensor import edge_plan
+from repro.tensor.edge_plan import EdgePlan
 from repro.tensor import ops
 from repro.tensor import functional
 from repro.tensor import sparse
@@ -43,6 +45,8 @@ __all__ = [
     "track_memory",
     "active_tracker",
     "no_tracking",
+    "edge_plan",
+    "EdgePlan",
     "ops",
     "functional",
     "sparse",

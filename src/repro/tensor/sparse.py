@@ -5,6 +5,15 @@ kernels.  Graph structure (edge endpoints, sparse adjacency) is always
 treated as non-differentiable; gradients only flow through dense feature and
 edge-weight tensors.
 
+Every op accepts an optional ``plan`` — an
+:class:`~repro.tensor.edge_plan.EdgePlan` built once for the edge set — and
+then runs on the plan's cached sort/CSR structures instead of re-deriving
+sparsity per call.  The contract is that ``plan`` was constructed from the
+*same* ``(src, dst, num_dst, num_src)`` the op is called with; callers obtain
+it from the owning graph (``Graph.plan()``, ``EdgeBlock.plan()``, …).  With
+``plan=None`` the ops fall back to the naive scipy/``ufunc.at`` reference
+path, which the tests gradcheck the plan path against.
+
 Plain NumPy helpers (suffixed ``_np``) are exposed as well because SAR's
 sequential aggregation (Algorithm 1) runs the same math *outside* the
 autograd graph and rematerializes it manually in the backward pass.
@@ -17,6 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor.edge_plan import EdgePlan
 from repro.tensor.tensor import Function, Tensor
 from repro.utils.validation import check_1d_int_array
 
@@ -41,10 +51,20 @@ def build_csr(src: np.ndarray, dst: np.ndarray, num_dst: int, num_src: int,
     return mat
 
 
-def segment_sum_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
-    """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``."""
+def segment_sum_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                   plan: Optional[EdgePlan] = None) -> np.ndarray:
+    """Sum ``values`` rows into ``num_segments`` buckets given by ``segment_ids``.
+
+    With a ``plan`` (whose ``dst`` must equal ``segment_ids``) the reduction
+    runs over the cached selection matrix — no per-call CSR build.
+    """
     values = np.asarray(values)
-    flat = values.reshape(len(values), -1) if values.ndim > 1 else values[:, None]
+    if plan is not None:
+        return plan.segment_sum(values)
+    if values.ndim > 1:
+        flat = values.reshape(len(values), int(np.prod(values.shape[1:], dtype=np.int64)))
+    else:
+        flat = values[:, None]
     mat = sp.csr_matrix(
         (np.ones(len(segment_ids), dtype=flat.dtype),
          (segment_ids, np.arange(len(segment_ids)))),
@@ -54,8 +74,11 @@ def segment_sum_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: in
     return out.reshape((num_segments,) + values.shape[1:])
 
 
-def segment_mean_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+def segment_mean_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                    plan: Optional[EdgePlan] = None) -> np.ndarray:
     """Mean-reduce ``values`` per segment (empty segments yield zeros)."""
+    if plan is not None:
+        return plan.segment_mean(np.asarray(values))
     sums = segment_sum_np(values, segment_ids, num_segments)
     counts = np.bincount(segment_ids, minlength=num_segments).astype(sums.dtype)
     counts = np.maximum(counts, 1.0)
@@ -63,18 +86,30 @@ def segment_mean_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: i
 
 
 def segment_max_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
-                   initial: float = -np.inf) -> np.ndarray:
-    """Max-reduce ``values`` per segment (empty segments yield ``initial``)."""
+                   initial: float = -np.inf,
+                   plan: Optional[EdgePlan] = None) -> np.ndarray:
+    """Max-reduce ``values`` per segment (``initial`` fills empty segments and
+    clamps every result from below, matching the ``np.maximum.at`` path)."""
     values = np.asarray(values)
+    if plan is not None:
+        out = plan.segment_max(values, initial=initial)
+        # The plan kernel applies ``initial`` to empty segments only; the
+        # reference path also clamps non-empty segments at ``initial``.
+        return np.maximum(out, initial) if np.isfinite(initial) else out
     out = np.full((num_segments,) + values.shape[1:], initial, dtype=values.dtype)
     np.maximum.at(out, segment_ids, values)
     return out
 
 
 def segment_min_np(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
-                   initial: float = np.inf) -> np.ndarray:
-    """Min-reduce ``values`` per segment (empty segments yield ``initial``)."""
+                   initial: float = np.inf,
+                   plan: Optional[EdgePlan] = None) -> np.ndarray:
+    """Min-reduce ``values`` per segment (``initial`` fills empty segments and
+    clamps every result from above, matching the ``np.minimum.at`` path)."""
     values = np.asarray(values)
+    if plan is not None:
+        out = plan.segment_min(values, initial=initial)
+        return np.minimum(out, initial) if np.isfinite(initial) else out
     out = np.full((num_segments,) + values.shape[1:], initial, dtype=values.dtype)
     np.minimum.at(out, segment_ids, values)
     return out
@@ -85,8 +120,11 @@ def segment_count_np(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
     return np.bincount(segment_ids, minlength=num_segments).astype(np.int64)
 
 
-def edge_softmax_np(scores: np.ndarray, dst: np.ndarray, num_dst: int) -> np.ndarray:
+def edge_softmax_np(scores: np.ndarray, dst: np.ndarray, num_dst: int,
+                    plan: Optional[EdgePlan] = None) -> np.ndarray:
     """Numerically-stable softmax of per-edge scores grouped by destination."""
+    if plan is not None:
+        return plan.edge_softmax(np.asarray(scores))
     maxes = segment_max_np(scores, dst, num_dst, initial=-np.inf)
     maxes = np.where(np.isfinite(maxes), maxes, 0.0)
     shifted = scores - maxes[dst]
@@ -119,13 +157,61 @@ class SpMM(Function):
         return (np.asarray(grad_x).reshape(x_shape),)
 
 
+class NeighborAggregate(Function):
+    """Plan-backed sum/mean aggregation of source features into destinations.
+
+    The plan-native equivalent of :class:`SpMM` with the (cached) ``"none"``
+    or ``"mean"``-normalized adjacency: forward aggregates over the plan's
+    cached CSR, backward scatters through the cached transpose — zero sparse
+    constructions either way.
+    """
+
+    def forward(self, x: Tensor, plan: EdgePlan, op: str) -> np.ndarray:
+        if op not in ("sum", "mean"):
+            raise ValueError(f"op must be 'sum' or 'mean', got {op!r}")
+        if x.shape[0] != plan.num_src:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but plan expects {plan.num_src} sources"
+            )
+        out = plan.aggregate_mean(x.data) if op == "mean" else plan.aggregate_sum(x.data)
+        self.save_for_backward(plan, op, x.data.ndim)
+        return out
+
+    def backward(self, grad_out):
+        plan, op, ndim = self.saved
+        grad = grad_out
+        if op == "mean":
+            counts = plan.clamped_in_degrees(grad_out.dtype)
+            grad = grad_out / counts.reshape((plan.num_dst,) + (1,) * (ndim - 1))
+        return (plan.aggregate_sum_t(grad),)
+
+
+class EdgeScoreSum(Function):
+    """Per-edge sum of destination- and source-node scores (DGL ``u_add_v``).
+
+    ``out[e] = score_dst[dst_e] + score_src[src_e]`` — the first step of
+    GAT's attention logits.  The backward pass segment-sums the per-edge
+    gradient to both endpoints through the plan's cached selection matrices
+    instead of two ``np.add.at`` scatter loops.
+    """
+
+    def forward(self, score_dst: Tensor, score_src: Tensor, plan: EdgePlan) -> np.ndarray:
+        self.save_for_backward(plan)
+        return score_dst.data[plan.dst] + score_src.data[plan.src]
+
+    def backward(self, grad_out):
+        (plan,) = self.saved
+        return plan.segment_sum(grad_out), plan.segment_sum_src(grad_out)
+
+
 class SegmentSum(Function):
     """Differentiable :func:`segment_sum_np`."""
 
-    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int,
+                plan: Optional[EdgePlan] = None) -> np.ndarray:
         segment_ids = check_1d_int_array(segment_ids, "segment_ids", max_value=None)
         self.save_for_backward(segment_ids)
-        return segment_sum_np(values.data, segment_ids, num_segments)
+        return segment_sum_np(values.data, segment_ids, num_segments, plan=plan)
 
     def backward(self, grad_out):
         (segment_ids,) = self.saved
@@ -135,13 +221,14 @@ class SegmentSum(Function):
 class SegmentMean(Function):
     """Differentiable per-segment mean (empty segments produce zeros)."""
 
-    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    def forward(self, values: Tensor, segment_ids: np.ndarray, num_segments: int,
+                plan: Optional[EdgePlan] = None) -> np.ndarray:
         segment_ids = check_1d_int_array(segment_ids, "segment_ids", max_value=None)
         counts = np.maximum(
             np.bincount(segment_ids, minlength=num_segments), 1
         ).astype(values.data.dtype)
         self.save_for_backward(segment_ids, counts, values.data.ndim)
-        return segment_sum_np(values.data, segment_ids, num_segments) / counts.reshape(
+        return segment_sum_np(values.data, segment_ids, num_segments, plan=plan) / counts.reshape(
             (num_segments,) + (1,) * (values.data.ndim - 1)
         )
 
@@ -156,11 +243,14 @@ class UMulESum(Function):
 
     ``x`` has shape ``(num_src, H, D)`` (or ``(num_src, D)``) and ``w`` has
     shape ``(E, H)`` (or ``(E,)``); gradients flow to both.  This is the core
-    kernel of attention-based aggregation.
+    kernel of attention-based aggregation.  With a ``plan`` the forward and
+    backward passes run all heads through the plan's weighted-CSR template
+    (one cached structure, zero per-call sparse builds) instead of
+    constructing one fresh CSR matrix per head per pass.
     """
 
     def forward(self, x: Tensor, w: Tensor, src: np.ndarray, dst: np.ndarray,
-                num_dst: int) -> np.ndarray:
+                num_dst: int, plan: Optional[EdgePlan] = None) -> np.ndarray:
         x_data, w_data = x.data, w.data
         squeeze = False
         if x_data.ndim == 2:
@@ -169,22 +259,28 @@ class UMulESum(Function):
         if w_data.ndim == 1:
             w_data = w_data[:, None]
         num_src, heads, dim = x_data.shape
-        out = np.empty((num_dst, heads, dim), dtype=x_data.dtype)
-        for h in range(heads):
-            adj = sp.csr_matrix((w_data[:, h], (dst, src)), shape=(num_dst, num_src))
-            out[:, h, :] = adj @ x_data[:, h, :]
+        if plan is not None:
+            out = plan.u_mul_e_sum(x_data, w_data)
+        else:
+            out = np.empty((num_dst, heads, dim), dtype=x_data.dtype)
+            for h in range(heads):
+                adj = sp.csr_matrix((w_data[:, h], (dst, src)), shape=(num_dst, num_src))
+                out[:, h, :] = adj @ x_data[:, h, :]
         self.save_for_backward(x_data, w_data, src, dst, num_dst, squeeze,
-                               x.shape, w.shape)
+                               x.shape, w.shape, plan)
         return out[:, 0, :] if squeeze else out
 
     def backward(self, grad_out):
-        x_data, w_data, src, dst, num_dst, squeeze, x_shape, w_shape = self.saved
+        x_data, w_data, src, dst, num_dst, squeeze, x_shape, w_shape, plan = self.saved
         grad = grad_out[:, None, :] if squeeze else grad_out
         num_src, heads, dim = x_data.shape
-        grad_x = np.empty_like(x_data)
-        for h in range(heads):
-            adj_t = sp.csr_matrix((w_data[:, h], (src, dst)), shape=(num_src, num_dst))
-            grad_x[:, h, :] = adj_t @ grad[:, h, :]
+        if plan is not None:
+            grad_x = plan.u_mul_e_sum_t(grad, w_data)
+        else:
+            grad_x = np.empty_like(x_data)
+            for h in range(heads):
+                adj_t = sp.csr_matrix((w_data[:, h], (src, dst)), shape=(num_src, num_dst))
+                grad_x[:, h, :] = adj_t @ grad[:, h, :]
         # grad_w[e, h] = <x[src_e, h], grad_out[dst_e, h]>  (an SDDMM)
         grad_w = np.einsum("ehd,ehd->eh", x_data[src], grad[dst])
         return grad_x.reshape(x_shape), grad_w.reshape(w_shape).astype(w_data.dtype)
@@ -202,23 +298,28 @@ class PoolAggregation(Function):
     """
 
     def forward(self, x: Tensor, src: np.ndarray, dst: np.ndarray, num_dst: int,
-                op: str) -> np.ndarray:
+                op: str, plan: Optional[EdgePlan] = None) -> np.ndarray:
         if op not in ("max", "min"):
             raise ValueError(f"op must be 'max' or 'min', got {op!r}")
         data = x.data
-        gathered = data[src]
-        if op == "max":
-            reduced = segment_max_np(gathered, dst, num_dst)
+        if plan is not None:
+            reduced = plan.aggregate_max(data) if op == "max" else plan.aggregate_min(data)
         else:
-            reduced = segment_min_np(gathered, dst, num_dst)
+            gathered = data[src]
+            if op == "max":
+                reduced = segment_max_np(gathered, dst, num_dst)
+            else:
+                reduced = segment_min_np(gathered, dst, num_dst)
         out = np.where(np.isfinite(reduced), reduced, 0.0).astype(data.dtype, copy=False)
-        self.save_for_backward(data, src, dst, out, x.shape)
+        self.save_for_backward(data, src, dst, out, x.shape, plan)
         return out
 
     def backward(self, grad_out):
-        data, src, dst, out, x_shape = self.saved
+        data, src, dst, out, x_shape, plan = self.saved
         mask = data[src] == out[dst]
         contrib = np.where(mask, grad_out[dst], 0.0)
+        if plan is not None:
+            return (plan.segment_sum_src(contrib).astype(grad_out.dtype, copy=False),)
         grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
         np.add.at(grad_x, src, contrib)
         return (grad_x,)
@@ -227,14 +328,15 @@ class PoolAggregation(Function):
 class EdgeSoftmax(Function):
     """Softmax over incoming edges of each destination node (DGL ``edge_softmax``)."""
 
-    def forward(self, scores: Tensor, dst: np.ndarray, num_dst: int) -> np.ndarray:
-        alpha = edge_softmax_np(scores.data, dst, num_dst)
-        self.save_for_backward(alpha, dst, num_dst)
+    def forward(self, scores: Tensor, dst: np.ndarray, num_dst: int,
+                plan: Optional[EdgePlan] = None) -> np.ndarray:
+        alpha = edge_softmax_np(scores.data, dst, num_dst, plan=plan)
+        self.save_for_backward(alpha, dst, num_dst, plan)
         return alpha
 
     def backward(self, grad_out):
-        alpha, dst, num_dst = self.saved
-        weighted = segment_sum_np(alpha * grad_out, dst, num_dst)
+        alpha, dst, num_dst, plan = self.saved
+        weighted = segment_sum_np(alpha * grad_out, dst, num_dst, plan=plan)
         return (alpha * (grad_out - weighted[dst]),)
 
 
@@ -245,22 +347,37 @@ def spmm(x: Tensor, adj: sp.spmatrix, adj_t: Optional[sp.spmatrix] = None) -> Te
     return SpMM.apply(x, adj, adj_t)
 
 
-def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
-    return SegmentSum.apply(values, np.asarray(segment_ids), num_segments)
+def neighbor_aggregate(x: Tensor, plan: EdgePlan, op: str = "sum") -> Tensor:
+    """Plan-backed sum/mean aggregation of source features into destinations."""
+    return NeighborAggregate.apply(x, plan, op)
 
 
-def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
-    return SegmentMean.apply(values, np.asarray(segment_ids), num_segments)
+def u_add_v(score_dst: Tensor, score_src: Tensor, plan: EdgePlan) -> Tensor:
+    """Per-edge ``score_dst[dst_e] + score_src[src_e]`` with plan-backed backward."""
+    return EdgeScoreSum.apply(score_dst, score_src, plan)
 
 
-def u_mul_e_sum(x: Tensor, w: Tensor, src, dst, num_dst: int) -> Tensor:
-    return UMulESum.apply(x, w, np.asarray(src), np.asarray(dst), num_dst)
+def segment_sum(values: Tensor, segment_ids, num_segments: int,
+                plan: Optional[EdgePlan] = None) -> Tensor:
+    return SegmentSum.apply(values, np.asarray(segment_ids), num_segments, plan)
 
 
-def pool_aggregate(x: Tensor, src, dst, num_dst: int, op: str = "max") -> Tensor:
+def segment_mean(values: Tensor, segment_ids, num_segments: int,
+                 plan: Optional[EdgePlan] = None) -> Tensor:
+    return SegmentMean.apply(values, np.asarray(segment_ids), num_segments, plan)
+
+
+def u_mul_e_sum(x: Tensor, w: Tensor, src, dst, num_dst: int,
+                plan: Optional[EdgePlan] = None) -> Tensor:
+    return UMulESum.apply(x, w, np.asarray(src), np.asarray(dst), num_dst, plan)
+
+
+def pool_aggregate(x: Tensor, src, dst, num_dst: int, op: str = "max",
+                   plan: Optional[EdgePlan] = None) -> Tensor:
     """Max/min pooling of source features into destination nodes."""
-    return PoolAggregation.apply(x, np.asarray(src), np.asarray(dst), num_dst, op)
+    return PoolAggregation.apply(x, np.asarray(src), np.asarray(dst), num_dst, op, plan)
 
 
-def edge_softmax(scores: Tensor, dst, num_dst: int) -> Tensor:
-    return EdgeSoftmax.apply(scores, np.asarray(dst), num_dst)
+def edge_softmax(scores: Tensor, dst, num_dst: int,
+                 plan: Optional[EdgePlan] = None) -> Tensor:
+    return EdgeSoftmax.apply(scores, np.asarray(dst), num_dst, plan)

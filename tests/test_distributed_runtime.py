@@ -252,3 +252,134 @@ class TestCostModel:
         result = self._result()
         table = scaling_table({4: epoch_cost(result), 2: epoch_cost(result)})
         assert [row["num_workers"] for row in table] == [2, 4]
+
+
+class TestSharedStoreFixes:
+    """Regression tests for the thread-backend aliasing and waiting fixes."""
+
+    def test_self_fetch_whole_array_is_a_copy(self):
+        """Mutating a self-fetched array must not corrupt what peers fetch."""
+        def worker(rank, comm):
+            comm.publish("w", np.zeros(4, dtype=np.float32))
+            own = comm.fetch(rank, "w")  # rows=None: previously aliased the store
+            own += 99.0
+            comm.barrier()
+            peer = comm.fetch((rank + 1) % 2, "w")
+            comm.barrier()
+            return float(peer.sum())
+
+        result = run_distributed(worker, 2)
+        assert result.results == [0.0, 0.0]
+
+    def test_self_fetch_row_subset_is_a_copy(self):
+        def worker(rank, comm):
+            data = np.arange(6, dtype=np.float32)
+            comm.publish("w", data)
+            rows = comm.fetch(rank, "w", rows=np.array([0, 1]))
+            rows += 50.0
+            comm.barrier()
+            return float(data[0])
+
+        result = run_distributed(worker, 2)
+        assert result.results == [0.0, 0.0]
+
+    def test_wait_get_blocks_until_publish_and_times_out(self):
+        import threading
+        import time
+
+        from repro.distributed.thread_backend import SharedStore
+
+        store = SharedStore(world_size=2, timeout_s=0.2)
+        with pytest.raises(TimeoutError):
+            store.wait_get(0, "missing")
+
+        store = SharedStore(world_size=2, timeout_s=30.0)
+        payload = np.arange(3, dtype=np.float32)
+
+        def publish_later():
+            time.sleep(0.05)
+            store.put(1, "late", payload)
+
+        thread = threading.Thread(target=publish_later)
+        start = time.monotonic()
+        thread.start()
+        got = store.wait_get(1, "late")
+        elapsed = time.monotonic() - start
+        thread.join()
+        np.testing.assert_array_equal(got, payload)
+        assert elapsed < 5.0  # woke on the event, not the full timeout
+
+    def test_wait_get_sees_republished_key(self):
+        import threading
+        import time
+
+        from repro.distributed.thread_backend import SharedStore
+
+        store = SharedStore(world_size=2, timeout_s=30.0)
+        store.put(0, "k", np.zeros(1, dtype=np.float32))
+        store.remove(0, "k")
+
+        def republished():
+            time.sleep(0.05)
+            store.put(0, "k", np.ones(1, dtype=np.float32))
+
+        thread = threading.Thread(target=republished)
+        thread.start()
+        got = store.wait_get(0, "k")
+        thread.join()
+        np.testing.assert_array_equal(got, np.ones(1, dtype=np.float32))
+
+
+class TestCommStatsSnapshot:
+    def test_snapshot_consistent_under_concurrent_updates(self):
+        import threading
+
+        from repro.distributed.comm import CommStats
+
+        stats = CommStats()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                stats.record_send(7, tag="halo")
+                stats.record_recv(7, tag="halo")
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = stats.snapshot()
+                # Per-tag byte totals must always agree with message counts.
+                assert snap.get("sent:halo", 0) == 7 * snap["messages_sent"]
+                assert snap.get("recv:halo", 0) == 7 * snap["messages_received"]
+                assert snap["bytes_sent"] == snap.get("sent:halo", 0)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_abort_wakes_reader_even_after_event_discarded(self):
+        import threading
+        import time
+
+        from repro.distributed.thread_backend import ClusterAborted, SharedStore
+
+        store = SharedStore(world_size=2, timeout_s=30.0)
+        outcome = {}
+
+        def reader():
+            try:
+                store.wait_get(0, "k")
+            except ClusterAborted:
+                outcome["aborted_at"] = time.monotonic()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)  # reader is parked on its registered event
+        store.remove(0, "k")  # discards the event the reader may hold
+        start = time.monotonic()
+        store.abort("boom")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome["aborted_at"] - start < 2.0  # woke promptly, not at timeout

@@ -1,0 +1,371 @@
+"""Tests for the EdgePlan kernel layer (sort-once/reduce-many message passing).
+
+Every plan-backed kernel is checked against the naive scipy / ``ufunc.at``
+reference implementation on adversarial edge sets (empty segments, parallel
+edges, isolated sources, multiple heads), the differentiable ops are
+gradchecked with plans attached, and the ``build_counter`` tests prove that a
+training loop constructs each plan exactly once — the hot path performs zero
+per-call sparsity derivation after warm-up.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SAR, DistributedGraph, broadcast_parameters, sync_gradients
+from repro.distributed import run_distributed
+from repro.graph import Graph
+from repro.graph.hetero import HeteroGraph
+from repro.graph.mfg import message_flow_masks
+from repro.nn.gat_fused import fused_gat_backward_np, fused_gat_forward_np
+from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.tensor import Tensor, edge_plan
+from repro.tensor.edge_plan import EdgePlan, plans_disabled
+from repro.tensor.gradcheck import check_gradients
+from repro.tensor.optim import Adam
+from repro.tensor.sparse import (
+    edge_softmax,
+    edge_softmax_np,
+    neighbor_aggregate,
+    pool_aggregate,
+    segment_max_np,
+    segment_min_np,
+    segment_sum_np,
+    u_add_v,
+    u_mul_e_sum,
+)
+
+
+def _random_edges(rng, num_src, num_dst, num_edges, parallel=False):
+    src = rng.integers(0, num_src, num_edges).astype(np.int64)
+    dst = rng.integers(0, num_dst, num_edges).astype(np.int64)
+    if parallel:
+        # Duplicate a third of the edges so parallel edges must accumulate.
+        take = rng.integers(0, num_edges, num_edges // 3)
+        src = np.concatenate([src, src[take]])
+        dst = np.concatenate([dst, dst[take]])
+    return src, dst
+
+
+EDGE_CASES = [
+    # (num_src, num_dst, num_edges, parallel)
+    pytest.param(30, 20, 150, False, id="dense"),
+    pytest.param(30, 50, 40, False, id="empty-segments"),
+    pytest.param(25, 25, 90, True, id="parallel-edges"),
+    pytest.param(10, 10, 0, False, id="no-edges"),
+]
+
+
+class TestPlanKernelsMatchNaive:
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    @pytest.mark.parametrize("trailing", [(), (3,), (2, 4)])
+    def test_segment_sum(self, rng, num_src, num_dst, num_edges, parallel, trailing):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        vals = rng.standard_normal((len(src),) + trailing).astype(np.float32)
+        naive = segment_sum_np(vals, dst, num_dst)
+        np.testing.assert_allclose(plan.segment_sum(vals), naive, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    def test_segment_mean_max_min(self, rng, num_src, num_dst, num_edges, parallel):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        vals = rng.standard_normal((len(src), 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            plan.segment_mean(vals),
+            segment_sum_np(vals, dst, num_dst)
+            / np.maximum(np.bincount(dst, minlength=num_dst), 1)[:, None],
+            rtol=1e-5, atol=1e-5,
+        )
+        np.testing.assert_allclose(plan.segment_max(vals),
+                                   segment_max_np(vals, dst, num_dst))
+        np.testing.assert_allclose(plan.segment_min(vals),
+                                   segment_min_np(vals, dst, num_dst))
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    def test_segment_sum_src_is_the_transpose_reduction(self, rng, num_src, num_dst,
+                                                        num_edges, parallel):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        vals = rng.standard_normal((len(src), 3)).astype(np.float32)
+        np.testing.assert_allclose(plan.segment_sum_src(vals),
+                                   segment_sum_np(vals, src, num_src),
+                                   rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    def test_aggregate_sum_mean_and_transpose(self, rng, num_src, num_dst,
+                                              num_edges, parallel):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        x = rng.standard_normal((num_src, 5)).astype(np.float32)
+        g = rng.standard_normal((num_dst, 5)).astype(np.float32)
+        np.testing.assert_allclose(plan.aggregate_sum(x),
+                                   segment_sum_np(x[src], dst, num_dst),
+                                   rtol=1e-5, atol=1e-5)
+        counts = np.maximum(np.bincount(dst, minlength=num_dst), 1)[:, None]
+        np.testing.assert_allclose(plan.aggregate_mean(x),
+                                   segment_sum_np(x[src], dst, num_dst) / counts,
+                                   rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(plan.aggregate_sum_t(g),
+                                   segment_sum_np(g[dst], src, num_src),
+                                   rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    def test_aggregate_max_min(self, rng, num_src, num_dst, num_edges, parallel):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        x = rng.standard_normal((num_src, 4)).astype(np.float32)
+        np.testing.assert_allclose(plan.aggregate_max(x),
+                                   segment_max_np(x[src], dst, num_dst))
+        np.testing.assert_allclose(plan.aggregate_min(x),
+                                   segment_min_np(x[src], dst, num_dst))
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    @pytest.mark.parametrize("heads", [1, 4])
+    def test_u_mul_e_sum_and_transpose(self, rng, num_src, num_dst, num_edges,
+                                       parallel, heads):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        x = rng.standard_normal((num_src, heads, 6)).astype(np.float32)
+        w = rng.standard_normal((len(src), heads)).astype(np.float32)
+        g = rng.standard_normal((num_dst, heads, 6)).astype(np.float32)
+        expected = np.zeros((num_dst, heads, 6), dtype=np.float32)
+        for e in range(len(src)):
+            expected[dst[e]] += w[e][:, None] * x[src[e]]
+        np.testing.assert_allclose(plan.u_mul_e_sum(x, w), expected,
+                                   rtol=1e-4, atol=1e-4)
+        expected_t = np.zeros((num_src, heads, 6), dtype=np.float32)
+        for e in range(len(src)):
+            expected_t[src[e]] += w[e][:, None] * g[dst[e]]
+        np.testing.assert_allclose(plan.u_mul_e_sum_t(g, w), expected_t,
+                                   rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("num_src,num_dst,num_edges,parallel", EDGE_CASES)
+    @pytest.mark.parametrize("heads", [1, 3])
+    def test_edge_softmax(self, rng, num_src, num_dst, num_edges, parallel, heads):
+        src, dst = _random_edges(rng, num_src, num_dst, num_edges, parallel)
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        scores = (3.0 * rng.standard_normal((len(src), heads))).astype(np.float32)
+        np.testing.assert_allclose(plan.edge_softmax(scores),
+                                   edge_softmax_np(scores, dst, num_dst),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_finite_initial_clamps_like_reference(self, rng):
+        """segment_max/min_np with a finite ``initial`` must clamp non-empty
+        segments exactly like the ``ufunc.at`` reference path."""
+        src, dst = _random_edges(rng, 20, 15, 60)
+        plan = EdgePlan(src, dst, 15, 20)
+        vals = -np.abs(rng.standard_normal((len(src), 3))).astype(np.float32)
+        np.testing.assert_allclose(
+            segment_max_np(vals, dst, 15, initial=0.0, plan=plan),
+            segment_max_np(vals, dst, 15, initial=0.0),
+        )
+        np.testing.assert_allclose(
+            segment_min_np(-vals, dst, 15, initial=0.0, plan=plan),
+            segment_min_np(-vals, dst, 15, initial=0.0),
+        )
+
+    def test_shape_validation(self, rng):
+        src, dst = _random_edges(rng, 10, 10, 30)
+        plan = EdgePlan(src, dst, 10, 10)
+        with pytest.raises(ValueError):
+            plan.segment_sum(np.zeros((7, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            EdgePlan(src, dst[:-1], 10, 10)
+
+
+class TestPlanBackedAutogradOps:
+    """Gradcheck the differentiable ops with a plan attached."""
+
+    def _graph(self, rng, num_nodes=12, num_edges=40):
+        src, dst = _random_edges(rng, num_nodes, num_nodes, num_edges, parallel=True)
+        return src, dst, EdgePlan(src, dst, num_nodes, num_nodes)
+
+    def test_u_mul_e_sum_gradcheck(self, rng):
+        src, dst, plan = self._graph(rng)
+        x = Tensor(rng.standard_normal((12, 2, 3)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((len(src), 2)).astype(np.float32), requires_grad=True)
+        check_gradients(
+            lambda: u_mul_e_sum(x, w, src, dst, 12, plan=plan).sum(), [x, w]
+        )
+
+    def test_edge_softmax_gradcheck(self, rng):
+        src, dst, plan = self._graph(rng)
+        scores = Tensor(rng.standard_normal((len(src), 2)).astype(np.float32),
+                        requires_grad=True)
+        weights = Tensor(rng.standard_normal((len(src), 2)).astype(np.float32))
+        check_gradients(
+            lambda: (edge_softmax(scores, dst, 12, plan=plan) * weights).sum(),
+            [scores],
+        )
+
+    def test_u_add_v_gradcheck(self, rng):
+        src, dst, plan = self._graph(rng)
+        sd = Tensor(rng.standard_normal((12, 2)).astype(np.float32), requires_grad=True)
+        ss = Tensor(rng.standard_normal((12, 2)).astype(np.float32), requires_grad=True)
+        scale = Tensor(rng.standard_normal((len(src), 2)).astype(np.float32))
+        check_gradients(lambda: (u_add_v(sd, ss, plan) * scale).sum(), [sd, ss])
+
+    def test_u_add_v_matches_gather_sum(self, rng):
+        src, dst, plan = self._graph(rng)
+        sd = rng.standard_normal((12, 3)).astype(np.float32)
+        ss = rng.standard_normal((12, 3)).astype(np.float32)
+        out = u_add_v(Tensor(sd), Tensor(ss), plan)
+        np.testing.assert_allclose(out.data, sd[dst] + ss[src])
+
+    def test_neighbor_aggregate_gradcheck(self, rng):
+        src, dst, plan = self._graph(rng)
+        x = Tensor(rng.standard_normal((12, 4)).astype(np.float32), requires_grad=True)
+        scale = Tensor(rng.standard_normal((12, 4)).astype(np.float32))
+        for op in ("sum", "mean"):
+            check_gradients(
+                lambda op=op: (neighbor_aggregate(x, plan, op=op) * scale).sum(), [x]
+            )
+
+    def test_pool_aggregate_plan_matches_naive(self, rng):
+        src, dst, plan = self._graph(rng)
+        data = rng.standard_normal((12, 4)).astype(np.float32)
+        grad_seed = rng.standard_normal((12, 4)).astype(np.float32)
+        outputs = {}
+        for use_plan in (True, False):
+            x = Tensor(data.copy(), requires_grad=True)
+            out = pool_aggregate(x, src, dst, 12, op="max",
+                                 plan=plan if use_plan else None)
+            out.backward(grad_seed)
+            outputs[use_plan] = (out.data, x.grad)
+        np.testing.assert_allclose(outputs[True][0], outputs[False][0])
+        np.testing.assert_allclose(outputs[True][1], outputs[False][1],
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_plan_and_naive_layer_outputs_match(self, rng, sbm_graph):
+        """Full GAT/SAGE layers produce identical results with plans on or off."""
+        x_data = rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32)
+        for layer_cls, kwargs in [
+            (nn.GATConv, dict(num_heads=2)),
+            (nn.FusedGATConv, dict(num_heads=2)),
+            (nn.SageConv, dict(aggregator="mean")),
+            (nn.SageConv, dict(aggregator="max")),
+        ]:
+            layer = layer_cls(8, 6, **kwargs)
+            x = Tensor(x_data, requires_grad=True)
+            out_plan = layer(sbm_graph, x)
+            out_plan.backward(np.ones_like(out_plan.data))
+            grad_plan = x.grad.copy()
+            with plans_disabled():
+                naive_graph = Graph(sbm_graph.num_nodes, sbm_graph.src, sbm_graph.dst)
+                x.grad = None
+                out_naive = layer(naive_graph, x)
+                out_naive.backward(np.ones_like(out_naive.data))
+            np.testing.assert_allclose(out_plan.data, out_naive.data,
+                                       rtol=1e-4, atol=1e-4)
+            np.testing.assert_allclose(grad_plan, x.grad, rtol=1e-4, atol=1e-4)
+
+    def test_fused_gat_np_kernels_match_naive(self, rng):
+        src, dst, plan = self._graph(rng, num_nodes=15, num_edges=60)
+        z = rng.standard_normal((15, 2, 4)).astype(np.float32)
+        sd = rng.standard_normal((15, 2)).astype(np.float32)
+        ss = rng.standard_normal((15, 2)).astype(np.float32)
+        grad = rng.standard_normal((15, 2, 4)).astype(np.float32)
+        fwd_plan = fused_gat_forward_np(z, sd, ss, src, dst, 15, 0.2, plan=plan)
+        fwd_naive = fused_gat_forward_np(z, sd, ss, src, dst, 15, 0.2, plan=None)
+        np.testing.assert_allclose(fwd_plan, fwd_naive, rtol=1e-5, atol=1e-5)
+        bwd_plan = fused_gat_backward_np(grad, z, sd, ss, src, dst, 15, 0.2, plan=plan)
+        bwd_naive = fused_gat_backward_np(grad, z, sd, ss, src, dst, 15, 0.2, plan=None)
+        for a, b in zip(bwd_plan, bwd_naive):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+
+
+class TestMessageFlowMasksWithPlan:
+    def test_plan_and_adjacency_masks_agree(self, sbm_graph):
+        seeds = np.array([0, 5, 77])
+        with_plan = message_flow_masks(sbm_graph, seeds, 3)
+        with plans_disabled():
+            naive_graph = Graph(sbm_graph.num_nodes, sbm_graph.src, sbm_graph.dst)
+            without = message_flow_masks(naive_graph, seeds, 3)
+        for a, b in zip(with_plan, without):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestBuildCounter:
+    def test_graph_plan_is_built_once(self, sbm_graph):
+        before = edge_plan.build_counter
+        p1 = sbm_graph.plan()
+        after_first = edge_plan.build_counter
+        p2 = sbm_graph.plan()
+        assert p1 is p2
+        assert after_first == before + 1
+        assert edge_plan.build_counter == after_first
+
+    def test_plans_disabled_returns_none_and_builds_nothing(self, sbm_graph):
+        graph = Graph(sbm_graph.num_nodes, sbm_graph.src, sbm_graph.dst)
+        before = edge_plan.build_counter
+        with plans_disabled():
+            assert graph.plan() is None
+        assert edge_plan.build_counter == before
+
+    def test_training_loop_builds_each_plan_exactly_once(self, rng, sbm_graph):
+        """3 GAT iterations: warm-up builds the plan, later iterations build none."""
+        x = Tensor(rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32))
+        model = nn.GATConv(8, 4, num_heads=2)
+        opt = Adam(model.parameters(), lr=1e-2)
+
+        def iteration():
+            opt.zero_grad()
+            out = model(sbm_graph, x)
+            loss = (out * out).sum()
+            loss.backward()
+            opt.step()
+
+        iteration()  # warm-up: builds the graph's single plan
+        after_warmup = edge_plan.build_counter
+        for _ in range(2):
+            iteration()
+        assert edge_plan.build_counter == after_warmup
+
+    def test_distributed_training_builds_each_block_plan_once(self, small_dataset):
+        """A 2-worker SAR GAT loop builds only per-block plans, all in iteration 1."""
+        graph = small_dataset.graph
+        assignment = partition_graph(graph, 2, seed=0)
+        book = PartitionBook(assignment, 2)
+        shards = create_shards(graph, book)
+        counts = {}
+
+        def worker(rank, comm, shard):
+            dist = DistributedGraph(shard, comm, SAR)
+            model = nn.GATConv(small_dataset.features.shape[1], 4, num_heads=2)
+            broadcast_parameters(model.parameters(), comm)
+            opt = Adam(model.parameters(), lr=1e-2)
+            feats = Tensor(small_dataset.features[shard.global_node_ids])
+            per_iter = []
+            for _ in range(3):
+                before = edge_plan.build_counter
+                dist.begin_step()
+                opt.zero_grad()
+                out = model(dist, feats)
+                loss = (out * out).sum()
+                loss.backward()
+                sync_gradients(model.parameters(), comm)
+                opt.step()
+                per_iter.append(edge_plan.build_counter - before)
+            counts[rank] = per_iter
+            comm.barrier()
+
+        run_distributed(worker, 2, worker_args=shards)
+        total_first = sum(counts[r][0] for r in counts)
+        assert total_first > 0  # warm-up really did build block plans
+        for rank, per_iter in counts.items():
+            assert per_iter[1] == 0 and per_iter[2] == 0, (
+                f"rank {rank} built plans after warm-up: {per_iter}"
+            )
+
+    def test_hetero_relation_plans_cached(self):
+        hg = HeteroGraph(6, {
+            "a": (np.array([0, 1, 2]), np.array([1, 2, 3])),
+            "b": (np.array([3, 4]), np.array([4, 5])),
+        })
+        before = edge_plan.build_counter
+        p1 = hg.relation_plan("a")
+        p2 = hg.relation_plan("a")
+        p3 = hg.relation_plan("b")
+        assert p1 is p2 and p1 is not p3
+        assert edge_plan.build_counter == before + 2

@@ -303,6 +303,7 @@ class TestPrefetchPipeline:
 # --------------------------------------------------------------------------- #
 # end-to-end pooling-SAGE training through the engine
 # --------------------------------------------------------------------------- #
+@pytest.mark.slow
 class TestPoolingSageTrainsEndToEnd:
     def test_max_pool_sage_trains_under_sar(self, small_dataset):
         dataset = small_dataset

@@ -68,6 +68,7 @@ class TestFullBatchTrainer:
                              TrainingConfig(num_epochs=1, lr_schedule="bogus")).train()
 
 
+@pytest.mark.slow
 class TestDistributedTrainer:
     @pytest.mark.parametrize("mode", ["sar", "dp"])
     def test_distributed_matches_single_machine_exactly(self, learnable_dataset, mode):
