@@ -23,7 +23,7 @@ Each handle owns:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.core.rgcn_dist import RGCNKernel
 from repro.core.sage_dist import make_neighbor_kernel
 from repro.core.seq_agg import SequentialAggregationEngine
 from repro.distributed.comm import Communicator
-from repro.partition.shard import ShardedGraph, ShardedHeteroGraph
+from repro.partition.shard import ShardedGraph, ShardedHeteroGraph, restrict_block_to_dst
 from repro.tensor.tensor import Tensor
 
 
@@ -84,6 +84,11 @@ class DistributedGraph(_DistributedGraphBase):
         super().__init__(comm, config)
         self.shard = shard
         self.halo = HaloExchange(comm, shard.blocks, name="homo")
+        #: per-conv-layer ``(restricted shard view, halo)`` pairs installed by
+        #: :meth:`enable_mfg`; ``None`` means unrestricted execution.
+        self._mfg_layers: Optional[List[Tuple[ShardedGraph, HaloExchange]]] = None
+        self._mfg_active = False
+        self._mfg_cursor = 0
 
     # -- graph-like interface ------------------------------------------- #
     @property
@@ -113,6 +118,71 @@ class DistributedGraph(_DistributedGraphBase):
             f"local_nodes={self.num_nodes}, halo={self.shard.halo_size})"
         )
 
+    # -- MFG restriction (paper Appendix B, executed) --------------------- #
+    def begin_step(self) -> None:
+        super().begin_step()
+        self._mfg_cursor = 0
+
+    def enable_mfg(self, layer_masks: Sequence[np.ndarray]) -> None:
+        """Install per-layer MFG-restricted block grids (collective call).
+
+        ``layer_masks`` are the ``num_layers + 1`` global boolean masks from
+        :func:`repro.graph.mfg.message_flow_masks` over the *unpartitioned*
+        graph.  Conv layer ``l``'s aggregation then runs over blocks whose
+        edges all feed a destination required at level ``l + 1``: halo
+        fetches (and the backward error exchange) shrink to the rows those
+        edges actually touch, while the local feature matrices keep their
+        full height so the replicated model code is untouched.  Every worker
+        must call this at the same point — each restricted layer sets up its
+        own :class:`~repro.core.halo.HaloExchange` routing exchange.
+        """
+        if len(layer_masks) < 2:
+            raise ValueError("layer_masks needs at least 2 entries (input and output level)")
+        layers: List[Tuple[ShardedGraph, HaloExchange]] = []
+        for layer in range(len(layer_masks) - 1):
+            mask = np.asarray(layer_masks[layer + 1], dtype=bool)
+            if mask.shape != (self.num_total_nodes,):
+                raise ValueError(
+                    f"layer_masks[{layer + 1}] must cover all {self.num_total_nodes} "
+                    f"global nodes, got shape {mask.shape}"
+                )
+            dst_mask = mask[self.shard.global_node_ids]
+            blocks = [restrict_block_to_dst(b, dst_mask) for b in self.shard.blocks]
+            halo = HaloExchange(self.comm, blocks, name=f"mfg{layer}-homo")
+            layers.append((self.shard.with_blocks(blocks), halo))
+        self._mfg_layers = layers
+        self._mfg_active = True
+        self._mfg_cursor = 0
+
+    @property
+    def mfg_active(self) -> bool:
+        """Whether aggregations currently run over the restricted block grids."""
+        return self._mfg_active and self._mfg_layers is not None
+
+    def set_mfg_active(self, active: bool) -> None:
+        """Toggle the installed restriction (evaluation needs full-graph rows)."""
+        if active and self._mfg_layers is None:
+            raise RuntimeError("enable_mfg() must be called before activating MFG")
+        self._mfg_active = bool(active)
+
+    def _layer_context(self, what: str) -> Tuple[ShardedGraph, HaloExchange]:
+        """The (shard, halo) pair the next aggregation runs over.
+
+        Under MFG restriction, aggregations are dispatched to the restricted
+        layers in call order — the models are replicas, so conv layer ``l``
+        issues the step's ``l``-th aggregation on every worker.
+        """
+        if not (self._mfg_active and self._mfg_layers is not None):
+            return self.shard, self.halo
+        layer = self._mfg_cursor
+        if layer >= len(self._mfg_layers):
+            raise RuntimeError(
+                f"MFG restriction covers {len(self._mfg_layers)} conv layers but the "
+                f"model issued a {layer + 1}th aggregation ({what}) this step"
+            )
+        self._mfg_cursor += 1
+        return self._mfg_layers[layer]
+
     # -- aggregation entry points (called by the nn layers) -------------- #
     def aggregate_neighbors(self, z: Tensor, op: str = "mean") -> Tensor:
         """Neighbour aggregation over the full (distributed) neighbourhood.
@@ -121,13 +191,15 @@ class DistributedGraph(_DistributedGraphBase):
         ``"min"`` (pooling, SAR case 2: the backward pass re-fetches remote
         features to locate the extremal sources).
         """
-        kernel = make_neighbor_kernel(z, self.shard, self.halo, op)
+        shard, halo = self._layer_context("sage")
+        kernel = make_neighbor_kernel(z, shard, halo, op)
         return self.engine.aggregate(kernel, self._next_key("sage"), z)
 
     def gat_aggregate(self, z: Tensor, score_dst: Tensor, score_src: Tensor,
                       negative_slope: float = 0.2, fused: bool = False) -> Tensor:
         """Attention aggregation over the full (distributed) neighbourhood (case 2)."""
-        kernel = GATKernel(z, score_dst, score_src, self.shard, self.halo,
+        shard, halo = self._layer_context("gat")
+        kernel = GATKernel(z, score_dst, score_src, shard, halo,
                            self.config, negative_slope, fused)
         return self.engine.aggregate(kernel, self._next_key("gat"),
                                      z, score_dst, score_src)

@@ -16,11 +16,28 @@ Usage::
 
 ``worker_fn`` must be a module-level (picklable) function with the usual
 ``(rank, comm, *args)`` signature.
+
+Failure semantics
+-----------------
+
+* A worker that **raises** posts an error result; the parent writes an abort
+  flag into the shared store and breaks the barrier, so survivors blocked in
+  a collective unblock promptly (instead of spinning until their timeout),
+  post their own errors, and exit.  The parent raises
+  :class:`WorkerFailedError` naming the failing rank.
+* A worker that **dies without posting anything** (killed, segfault,
+  ``os._exit``) is detected by polling ``Process.is_alive`` alongside the
+  result queue; the parent aborts the cluster the same way, terminates any
+  survivors that do not exit within a short grace period, and raises naming
+  the dead rank and its exit code.
+* On every path — success, error, crash, timeout — no child process outlives
+  the :func:`run_multiprocess` call.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -28,24 +45,53 @@ import numpy as np
 
 from repro.distributed.comm import Communicator, reduce_arrays
 
-_POLL_S = 0.005
 _DEFAULT_TIMEOUT_S = 300.0
+#: parent-side liveness-check interval while draining the result queue
+_POLL_S = 0.2
+#: bounded wait slice while a worker is parked on the store condition
+_WAIT_SLICE_S = 0.1
+#: how long survivors get to post their errors after the cluster aborts
+_ABORT_GRACE_S = 10.0
+#: store key carrying the abort message (rank ``-1`` collides with no worker)
+_ABORT_KEY = (-1, "__abort__")
+
+
+class WorkerFailedError(RuntimeError):
+    """One or more worker processes raised, died, or timed out."""
 
 
 class MultiprocessCommunicator(Communicator):
-    """Communicator backed by a ``multiprocessing.Manager`` dict and barrier."""
+    """Communicator backed by a ``multiprocessing.Manager`` dict and barrier.
 
-    def __init__(self, rank: int, world_size: int, store, barrier,
+    Blocking reads park on a shared Manager :class:`~threading.Condition` in
+    bounded slices (every publish notifies it) instead of hammering the
+    Manager proxy with a few-millisecond poll, and every wait loop checks the
+    abort flag so a peer failure propagates within one slice.
+    """
+
+    def __init__(self, rank: int, world_size: int, store, barrier, condition,
                  timeout_s: float = _DEFAULT_TIMEOUT_S):
         super().__init__(rank, world_size)
         self._store = store
         self._barrier = barrier
+        self._cond = condition
         self._timeout_s = timeout_s
         self._collective_counter = 0
+        self._exchange_counter = 0
 
     # -- point-to-point ------------------------------------------------- #
+    def _put_and_notify(self, store_key, array: np.ndarray) -> None:
+        self._store[store_key] = array
+        with self._cond:
+            self._cond.notify_all()
+
+    def _check_abort(self) -> None:
+        message = self._store.get(_ABORT_KEY)
+        if message is not None:
+            raise WorkerFailedError(f"rank {self.rank}: cluster aborted: {message}")
+
     def publish(self, key: str, array: np.ndarray) -> None:
-        self._store[(self.rank, key)] = np.asarray(array)
+        self._put_and_notify((self.rank, key), np.asarray(array))
 
     def _wait_get(self, owner_rank: int, key: str) -> np.ndarray:
         deadline = time.monotonic() + self._timeout_s
@@ -53,11 +99,18 @@ class MultiprocessCommunicator(Communicator):
             value = self._store.get((owner_rank, key))
             if value is not None:
                 return value
-            if time.monotonic() > deadline:
+            self._check_abort()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"rank {self.rank} timed out waiting for rank {owner_rank} key {key!r}"
                 )
-            time.sleep(_POLL_S)
+            with self._cond:
+                # Re-check under the lock: a publisher cannot notify between
+                # this get and the wait (notify needs the same lock), so a
+                # publish is either seen here or wakes the wait below.
+                if self._store.get((owner_rank, key)) is None:
+                    self._cond.wait(min(_WAIT_SLICE_S, remaining))
 
     def fetch(self, owner_rank: int, key: str, rows: Optional[np.ndarray] = None,
               tag: str = "halo") -> np.ndarray:
@@ -77,35 +130,54 @@ class MultiprocessCommunicator(Communicator):
 
     # -- collectives ----------------------------------------------------- #
     def barrier(self) -> None:
-        self._barrier.wait(timeout=self._timeout_s)
+        try:
+            self._barrier.wait(timeout=self._timeout_s)
+        except Exception as exc:  # BrokenBarrierError (proxied) or timeout
+            self._check_abort()
+            raise WorkerFailedError(
+                f"rank {self.rank}: barrier broken or timed out (a worker died "
+                f"or exceeded the {self._timeout_s:.0f}s timeout)"
+            ) from exc
 
     def exchange(self, key: str, outgoing: Dict[int, np.ndarray],
                  tag: str = "exchange") -> Dict[int, np.ndarray]:
-        prefix = f"__xchg/{key}"
-        for dest, array in outgoing.items():
-            array = np.asarray(array)
-            self._store[(self.rank, f"{prefix}/to{dest}")] = array
-            if dest != self.rank:
-                self.stats.record_send(array.nbytes, tag=tag)
-        self.barrier()
+        """All-to-all over the store: one write and one pop-read per peer.
+
+        Each rank's payload for a peer is written once under a per-call
+        unique prefix; after a single barrier the receiver *pops* the entries
+        addressed to it, so the read doubles as cleanup and the old
+        second barrier (which only guarded a cleanup sweep) is gone.  The
+        per-call counter advances identically on every rank, so a slow
+        reader can never collide with the next call's entries.
+        """
+        self._exchange_counter += 1
+        prefix = f"__xchg/{self._exchange_counter}/{key}"
         received: Dict[int, np.ndarray] = {}
+        for dest, array in outgoing.items():
+            if not 0 <= dest < self.world_size:
+                raise ValueError(f"exchange destination {dest} out of range")
+            array = np.asarray(array)
+            if dest == self.rank:
+                received[self.rank] = np.array(array, copy=True)
+                continue
+            self._store[(self.rank, f"{prefix}/to{dest}")] = array
+            self.stats.record_send(array.nbytes, tag=tag)
+        self.barrier()
         for sender in range(self.world_size):
-            value = self._store.get((sender, f"{prefix}/to{self.rank}"))
+            if sender == self.rank:
+                continue
+            value = self._store.pop((sender, f"{prefix}/to{self.rank}"), None)
             if value is None:
                 continue
             received[sender] = np.array(value, copy=True)
-            if sender != self.rank:
-                self.stats.record_recv(received[sender].nbytes, tag=tag)
-        self.barrier()
-        for dest in outgoing:
-            self._store.pop((self.rank, f"{prefix}/to{dest}"), None)
+            self.stats.record_recv(received[sender].nbytes, tag=tag)
         return received
 
     def allreduce(self, array: np.ndarray, op: str = "sum", tag: str = "allreduce") -> np.ndarray:
         array = np.asarray(array)
         self._collective_counter += 1
         key = f"__coll/{self._collective_counter}"
-        self._store[(self.rank, key)] = array
+        self._put_and_notify((self.rank, key), array)
         contributions = [self._wait_get(r, key) for r in range(self.world_size)]
         result = reduce_arrays(contributions, op).astype(array.dtype, copy=False)
         ring_bytes = int(2 * array.nbytes * (self.world_size - 1) / max(self.world_size, 1))
@@ -119,7 +191,7 @@ class MultiprocessCommunicator(Communicator):
         array = np.asarray(array)
         self._collective_counter += 1
         key = f"__coll/{self._collective_counter}"
-        self._store[(self.rank, key)] = array
+        self._put_and_notify((self.rank, key), array)
         gathered = [np.array(self._wait_get(r, key), copy=True)
                     for r in range(self.world_size)]
         self.barrier()
@@ -127,9 +199,10 @@ class MultiprocessCommunicator(Communicator):
         return gathered
 
 
-def _mp_worker(rank: int, world_size: int, store, barrier, worker_fn, worker_arg,
-               common_kwargs, result_queue, timeout_s: float) -> None:
-    comm = MultiprocessCommunicator(rank, world_size, store, barrier, timeout_s=timeout_s)
+def _mp_worker(rank: int, world_size: int, store, barrier, condition, worker_fn,
+               worker_arg, common_kwargs, result_queue, timeout_s: float) -> None:
+    comm = MultiprocessCommunicator(rank, world_size, store, barrier, condition,
+                                    timeout_s=timeout_s)
     try:
         if worker_arg is _NO_ARG:
             result = worker_fn(rank, comm, **common_kwargs)
@@ -154,8 +227,11 @@ def run_multiprocess(worker_fn: Callable[..., Any], world_size: int,
                      **common_kwargs: Any) -> List[Any]:
     """Run ``worker_fn`` on ``world_size`` separate processes and collect results.
 
-    The per-worker results are returned indexed by rank.  Any worker error is
-    re-raised in the parent with the failing rank identified.
+    The per-worker results are returned indexed by rank.  Any worker error —
+    an exception, a silent death, or a timeout — is re-raised in the parent
+    as :class:`WorkerFailedError` with the failing rank identified, and no
+    child process is left behind (see the module docstring for the exact
+    failure semantics).
     """
     if worker_args is not None and len(worker_args) != world_size:
         raise ValueError(f"worker_args must have length {world_size}")
@@ -165,29 +241,97 @@ def run_multiprocess(worker_fn: Callable[..., Any], world_size: int,
     with mp.Manager() as manager:
         store = manager.dict()
         barrier = manager.Barrier(world_size)
+        condition = manager.Condition()
         result_queue = manager.Queue()
-        processes = []
+        processes: List[mp.process.BaseProcess] = []
         for rank in range(world_size):
             arg = worker_args[rank] if worker_args is not None else _NO_ARG
             process = ctx.Process(
                 target=_mp_worker,
-                args=(rank, world_size, store, barrier, worker_fn, arg, common_kwargs,
-                      result_queue, timeout_s),
+                args=(rank, world_size, store, barrier, condition, worker_fn, arg,
+                      common_kwargs, result_queue, timeout_s),
             )
             process.start()
             processes.append(process)
+
         results: List[Any] = [None] * world_size
         errors: List[str] = []
-        for _ in range(world_size):
-            rank, status, payload = result_queue.get(timeout=timeout_s)
+        reported: set = set()
+        deadline = time.monotonic() + timeout_s
+        aborted = False
+
+        def _abort(message: str) -> None:
+            """Unblock every survivor and bound how long we keep waiting."""
+            nonlocal aborted, deadline
+            if aborted:
+                return
+            aborted = True
+            store[_ABORT_KEY] = message
+            try:
+                barrier.abort()
+            except Exception:  # pragma: no cover - manager already torn down
+                pass
+            with condition:
+                condition.notify_all()
+            deadline = min(deadline, time.monotonic() + _ABORT_GRACE_S)
+
+        def _record(rank: int, status: str, payload: Any) -> None:
+            reported.add(rank)
             if status == "ok":
                 results[rank] = payload
+            elif errors and "cluster aborted" in str(payload):
+                # Follow-on failure of a survivor we unblocked ourselves; the
+                # root cause is already recorded.
+                pass
             else:
                 errors.append(f"rank {rank}: {payload}")
-        for process in processes:
-            process.join(timeout=timeout_s)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
+                _abort(errors[-1])
+
+        try:
+            while len(reported) < world_size:
+                try:
+                    _record(*result_queue.get(timeout=_POLL_S))
+                    continue
+                except queue_mod.Empty:
+                    pass
+                if time.monotonic() > deadline:
+                    if not errors:
+                        missing = sorted(set(range(world_size)) - reported)
+                        errors.append(
+                            f"timed out after {timeout_s:.0f}s waiting for ranks {missing}"
+                        )
+                        _abort(errors[-1])
+                    break
+                crashed = [r for r in range(world_size)
+                           if r not in reported and not processes[r].is_alive()]
+                if not crashed:
+                    continue
+                # A dead rank's result may still be in flight through the
+                # Manager — drain once more before declaring it crashed.
+                try:
+                    _record(*result_queue.get(timeout=_POLL_S))
+                    continue
+                except queue_mod.Empty:
+                    pass
+                for rank in crashed:
+                    if rank not in reported:
+                        _record(rank, "error",
+                                "worker process died without posting a result "
+                                f"(exitcode {processes[rank].exitcode})")
+        finally:
+            # Leak nothing: give workers a moment to exit on their own, then
+            # escalate terminate → kill.
+            for process in processes:
+                process.join(timeout=2.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                if process.is_alive():
+                    process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - terminate ignored
+                    process.kill()
+                    process.join(timeout=5.0)
         if errors:
-            raise RuntimeError("multiprocess workers failed: " + "; ".join(errors))
+            raise WorkerFailedError("multiprocess workers failed: " + "; ".join(errors))
     return results

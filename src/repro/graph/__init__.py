@@ -9,7 +9,17 @@ from repro.graph.generators import (
     ring_graph,
     star_graph,
 )
-from repro.graph.mfg import message_flow_masks, required_node_counts, mfg_savings
+from repro.graph.mfg import (
+    MFGBlock,
+    MFGHeteroBlock,
+    MFGPipeline,
+    build_hetero_mfg_pipeline,
+    build_mfg_pipeline,
+    hetero_message_flow_masks,
+    message_flow_masks,
+    mfg_savings,
+    required_node_counts,
+)
 
 __all__ = [
     "Graph",
@@ -20,6 +30,12 @@ __all__ = [
     "ring_graph",
     "star_graph",
     "message_flow_masks",
+    "hetero_message_flow_masks",
     "required_node_counts",
     "mfg_savings",
+    "MFGBlock",
+    "MFGHeteroBlock",
+    "MFGPipeline",
+    "build_mfg_pipeline",
+    "build_hetero_mfg_pipeline",
 ]

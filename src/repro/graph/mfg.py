@@ -4,18 +4,37 @@ In node-classification tasks the loss only touches a (possibly small) set of
 labelled *seed* nodes.  Working backwards from the seeds, layer ``l`` of an
 ``L``-layer GNN only has to produce output features for the nodes that are at
 most ``L - l`` hops away from a seed (following in-edges).  The paper uses
-DGL's MFGs to skip the remaining rows; here :func:`message_flow_masks`
-computes the same per-layer "required node" masks, and Figure 9 / the
-Appendix-B epoch-time numbers are reproduced from them.
+DGL's MFGs to skip the remaining rows; :func:`message_flow_masks` computes
+the same per-layer "required node" masks.
+
+The masks alone only *count* skippable rows.  Executing the restriction is
+the job of :func:`build_mfg_pipeline`: each conv layer becomes a compacted
+bipartite :class:`MFGBlock` — the layer's edges relabelled into the compact
+row spaces of its required source and destination nodes, owning a lazily
+built :class:`~repro.tensor.edge_plan.EdgePlan` — and consecutive blocks
+chain exactly (layer ``l``'s destination nodes are layer ``l+1``'s source
+nodes), so a model forwards layer by layer over shrinking feature matrices.
+This is the same per-layer sampled-block execution model as DGL's MFGs,
+restricted to the deterministic full-neighbourhood case.
+
+Because a destination is only required when *all* of its in-neighbours are
+required one layer earlier, every block contains a destination's complete
+in-neighbourhood, in the original edge order.  Kernels over the block
+therefore reduce exactly the same values in exactly the same order as the
+full graph, making seed-node outputs bit-identical — not merely close.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.graph.graph import Graph
+from repro.graph.hetero import HeteroGraph
+from repro.tensor import edge_plan as edge_plan_mod
+from repro.tensor.edge_plan import EdgePlan
 from repro.utils.validation import check_1d_int_array, check_positive_int
 
 
@@ -66,3 +85,289 @@ def mfg_savings(graph: Graph, seed_nodes, num_layers: int) -> float:
     needed = sum(counts[1:])
     full = graph.num_nodes * num_layers
     return 1.0 - needed / full if full else 0.0
+
+
+def hetero_message_flow_masks(hgraph: HeteroGraph, seed_nodes,
+                              num_layers: int) -> List[np.ndarray]:
+    """Per-layer required-node masks over the union of a hetero graph's relations.
+
+    A node is required at layer ``l`` when any relation carries one of its
+    out-edges to a node required at layer ``l+1`` (or it is itself required
+    there); R-GCN layers aggregate over every relation, so the receptive
+    field expands along all of them at once.
+    """
+    num_layers = check_positive_int(num_layers, "num_layers")
+    seeds = check_1d_int_array(seed_nodes, "seed_nodes", max_value=hgraph.num_nodes)
+    masks: List[np.ndarray] = [None] * (num_layers + 1)  # type: ignore[list-item]
+    current = np.zeros(hgraph.num_nodes, dtype=bool)
+    current[seeds] = True
+    masks[num_layers] = current.copy()
+    for layer in range(num_layers - 1, -1, -1):
+        reached = np.zeros(hgraph.num_nodes, dtype=bool)
+        for src, dst in hgraph.relations.values():
+            reached[src[current[dst]]] = True
+        current = current | reached
+        masks[layer] = current.copy()
+    return masks
+
+
+# --------------------------------------------------------------------------- #
+# compacted per-layer blocks (the MFG execution pipeline)
+# --------------------------------------------------------------------------- #
+def _lookup_table(nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+    table = np.full(num_nodes, -1, dtype=np.int64)
+    table[nodes] = np.arange(len(nodes), dtype=np.int64)
+    return table
+
+
+class _CompactBlockBase:
+    """Row-space bookkeeping shared by the homogeneous and relational blocks.
+
+    ``src_nodes``/``dst_nodes`` are the original (global) ids of the block's
+    required source and destination nodes, in ascending order.  The masks the
+    blocks are derived from are cumulative, so ``dst_nodes ⊆ src_nodes`` and
+    :attr:`dst_in_src` maps each destination row to its row in the source
+    space — the row gather every layer's self/residual term runs through.
+    """
+
+    def __init__(self, src_nodes: np.ndarray, dst_nodes: np.ndarray,
+                 dst_in_src: np.ndarray):
+        self.src_nodes = src_nodes
+        self.dst_nodes = dst_nodes
+        self.dst_in_src = dst_in_src
+
+    @property
+    def num_src_nodes(self) -> int:
+        return len(self.src_nodes)
+
+    @property
+    def num_dst_nodes(self) -> int:
+        return len(self.dst_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Rows of the block's *input* feature matrix (the nn layers' shape check)."""
+        return self.num_src_nodes
+
+    def gather_dst(self, x):
+        """Destination rows of a source-space per-node tensor (differentiable)."""
+        from repro.tensor import ops
+
+        return ops.gather(x, self.dst_in_src)
+
+
+def _rectangular_adjacency(src: np.ndarray, dst: np.ndarray, num_dst: int,
+                           num_src: int, transpose: bool,
+                           normalization: str,
+                           cache: Dict[Tuple[bool, str], sp.csr_matrix]) -> sp.csr_matrix:
+    """(num_dst × num_src) aggregation matrix with the same semantics as
+    :meth:`Graph.adjacency`, restricted to the block's edges (``"sym"`` is not
+    meaningful on a bipartite block)."""
+    if normalization not in ("none", "mean"):
+        raise ValueError(
+            f"MFG blocks support 'none' or 'mean' normalization, got {normalization!r}"
+        )
+    key = (transpose, normalization)
+    if key not in cache:
+        data = np.ones(len(src), dtype=np.float32)
+        adj = sp.csr_matrix((data, (dst, src)), shape=(num_dst, num_src))
+        if normalization == "mean":
+            deg = np.maximum(np.bincount(dst, minlength=num_dst).astype(np.float32), 1.0)
+            adj = sp.diags(1.0 / deg) @ adj
+        adj = adj.tocsr()
+        cache[(False, normalization)] = adj
+        cache[(True, normalization)] = adj.T.tocsr()
+    return cache[key]
+
+
+class MFGBlock(_CompactBlockBase):
+    """One conv layer's compacted bipartite edge set.
+
+    ``src``/``dst`` are the graph edges feeding a required destination,
+    relabelled into the compact source/destination row spaces; the original
+    edge order is preserved.  The nn layers accept an ``MFGBlock`` wherever
+    they accept a :class:`~repro.graph.graph.Graph`: the aggregation output
+    then has :attr:`num_dst_nodes` rows and the self/residual term reads its
+    input rows through :meth:`gather_dst`.
+    """
+
+    def __init__(self, src_nodes: np.ndarray, dst_nodes: np.ndarray,
+                 src: np.ndarray, dst: np.ndarray, dst_in_src: np.ndarray):
+        super().__init__(src_nodes, dst_nodes, dst_in_src)
+        self.src = src
+        self.dst = dst
+        self._plan: Optional[EdgePlan] = None
+        self._adj_cache: Dict[Tuple[bool, str], sp.csr_matrix] = {}
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def __repr__(self) -> str:
+        return (
+            f"MFGBlock(src_nodes={self.num_src_nodes}, dst_nodes={self.num_dst_nodes}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def plan(self) -> Optional[EdgePlan]:
+        """The block's lazily built edge plan (``None`` while plans are disabled)."""
+        if not edge_plan_mod.plans_enabled():
+            return None
+        if self._plan is None:
+            self._plan = EdgePlan(self.src, self.dst,
+                                  self.num_dst_nodes, self.num_src_nodes)
+        return self._plan
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degrees of the destination rows (equal to their full-graph in-degrees)."""
+        return np.bincount(self.dst, minlength=self.num_dst_nodes).astype(np.int64)
+
+    def adjacency(self, transpose: bool = False,
+                  normalization: str = "none") -> sp.csr_matrix:
+        return _rectangular_adjacency(self.src, self.dst, self.num_dst_nodes,
+                                      self.num_src_nodes, transpose, normalization,
+                                      self._adj_cache)
+
+
+class MFGHeteroBlock(_CompactBlockBase):
+    """One R-GCN layer's compacted per-relation edge sets (hetero counterpart)."""
+
+    def __init__(self, src_nodes: np.ndarray, dst_nodes: np.ndarray,
+                 relation_edges: Dict[str, Tuple[np.ndarray, np.ndarray]],
+                 dst_in_src: np.ndarray):
+        super().__init__(src_nodes, dst_nodes, dst_in_src)
+        self.relation_edges = relation_edges
+        self._plans: Dict[str, EdgePlan] = {}
+        self._adj_caches: Dict[str, Dict[Tuple[bool, str], sp.csr_matrix]] = {}
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self.relation_edges.keys())
+
+    def __repr__(self) -> str:
+        return (
+            f"MFGHeteroBlock(src_nodes={self.num_src_nodes}, "
+            f"dst_nodes={self.num_dst_nodes}, relations={self.relation_names})"
+        )
+
+    def _check_relation(self, relation: str) -> None:
+        if relation not in self.relation_edges:
+            raise KeyError(
+                f"Unknown relation {relation!r}; available: {self.relation_names}"
+            )
+
+    def relation_plan(self, relation: str) -> Optional[EdgePlan]:
+        self._check_relation(relation)
+        if not edge_plan_mod.plans_enabled():
+            return None
+        plan = self._plans.get(relation)
+        if plan is None:
+            src, dst = self.relation_edges[relation]
+            plan = EdgePlan(src, dst, self.num_dst_nodes, self.num_src_nodes)
+            self._plans[relation] = plan
+        return plan
+
+    def relation_adjacency(self, relation: str, transpose: bool = False,
+                           normalization: str = "none") -> sp.csr_matrix:
+        self._check_relation(relation)
+        src, dst = self.relation_edges[relation]
+        cache = self._adj_caches.setdefault(relation, {})
+        return _rectangular_adjacency(src, dst, self.num_dst_nodes,
+                                      self.num_src_nodes, transpose, normalization,
+                                      cache)
+
+
+class MFGPipeline:
+    """Per-layer compacted blocks for an ``L``-layer model over a seed set.
+
+    Passed to a model in place of the graph, the model dispatches conv layer
+    ``l`` onto :meth:`layer_block` ``(l)``; the input feature matrix holds the
+    rows of :attr:`input_nodes` and the output rows are exactly
+    :attr:`output_nodes` (the seed set, in ascending id order).
+    """
+
+    def __init__(self, blocks: List[_CompactBlockBase], masks: List[np.ndarray]):
+        self.blocks = blocks
+        self.masks = masks
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def input_nodes(self) -> np.ndarray:
+        """Global ids whose input features the restricted forward pass reads."""
+        return self.blocks[0].src_nodes
+
+    @property
+    def output_nodes(self) -> np.ndarray:
+        """Global ids of the output rows (the seed set, ascending)."""
+        return self.blocks[-1].dst_nodes
+
+    def layer_block(self, index: int) -> _CompactBlockBase:
+        if not 0 <= index < len(self.blocks):
+            raise IndexError(
+                f"MFG pipeline has {len(self.blocks)} layer blocks, asked for {index}"
+            )
+        return self.blocks[index]
+
+    def gather_inputs(self, features: np.ndarray) -> np.ndarray:
+        """Rows of a full-graph per-node array the pipeline's layer 0 consumes."""
+        return features[self.input_nodes]
+
+    def required_node_counts(self) -> List[int]:
+        return [int(mask.sum()) for mask in self.masks]
+
+    def __repr__(self) -> str:
+        return (
+            f"MFGPipeline(num_layers={self.num_layers}, "
+            f"counts={self.required_node_counts()})"
+        )
+
+
+def _compact_edges(src: np.ndarray, dst: np.ndarray, dst_mask: np.ndarray,
+                   src_lookup: np.ndarray, dst_lookup: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    keep = dst_mask[dst]
+    src_ids = src_lookup[src[keep]]
+    dst_ids = dst_lookup[dst[keep]]
+    if src_ids.size and src_ids.min() < 0:
+        raise AssertionError(
+            "MFG masks are inconsistent: an edge into a required destination "
+            "has a source outside the previous layer's required set"
+        )
+    return src_ids, dst_ids
+
+
+def build_mfg_pipeline(graph: Graph, seed_nodes, num_layers: int) -> MFGPipeline:
+    """Derive the compacted per-layer blocks executing the MFG restriction."""
+    masks = message_flow_masks(graph, seed_nodes, num_layers)
+    node_lists = [np.flatnonzero(mask) for mask in masks]
+    lookups = [_lookup_table(nodes, graph.num_nodes) for nodes in node_lists]
+    blocks: List[_CompactBlockBase] = []
+    for layer in range(num_layers):
+        src_nodes, dst_nodes = node_lists[layer], node_lists[layer + 1]
+        src_ids, dst_ids = _compact_edges(graph.src, graph.dst, masks[layer + 1],
+                                          lookups[layer], lookups[layer + 1])
+        blocks.append(MFGBlock(src_nodes, dst_nodes, src_ids, dst_ids,
+                               dst_in_src=lookups[layer][dst_nodes]))
+    return MFGPipeline(blocks, masks)
+
+
+def build_hetero_mfg_pipeline(hgraph: HeteroGraph, seed_nodes,
+                              num_layers: int) -> MFGPipeline:
+    """Hetero counterpart of :func:`build_mfg_pipeline` (one edge set per relation)."""
+    masks = hetero_message_flow_masks(hgraph, seed_nodes, num_layers)
+    node_lists = [np.flatnonzero(mask) for mask in masks]
+    lookups = [_lookup_table(nodes, hgraph.num_nodes) for nodes in node_lists]
+    blocks: List[_CompactBlockBase] = []
+    for layer in range(num_layers):
+        src_nodes, dst_nodes = node_lists[layer], node_lists[layer + 1]
+        relation_edges = {
+            name: _compact_edges(src, dst, masks[layer + 1],
+                                 lookups[layer], lookups[layer + 1])
+            for name, (src, dst) in hgraph.relations.items()
+        }
+        blocks.append(MFGHeteroBlock(src_nodes, dst_nodes, relation_edges,
+                                     dst_in_src=lookups[layer][dst_nodes]))
+    return MFGPipeline(blocks, masks)

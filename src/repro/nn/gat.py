@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from repro.graph.graph import Graph
+from repro.graph.mfg import MFGBlock
 from repro.nn.linear import Linear
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
@@ -90,7 +91,7 @@ class GATConv(GATBase):
                 f"Feature matrix has {x.shape[0]} rows but graph has {graph.num_nodes} nodes"
             )
         z, score_dst, score_src = self.project(x)
-        if isinstance(graph, Graph):
+        if isinstance(graph, (Graph, MFGBlock)):
             aggregated = self._aggregate_local(graph, z, score_dst, score_src)
         else:
             aggregated = graph.gat_aggregate(
@@ -100,10 +101,17 @@ class GATConv(GATBase):
             )
         return self.finalize(aggregated)
 
-    def _aggregate_local(self, graph: Graph, z: Tensor, score_dst: Tensor,
+    def _aggregate_local(self, graph, z: Tensor, score_dst: Tensor,
                          score_src: Tensor) -> Tensor:
         src, dst = graph.src, graph.dst
         plan = graph.plan()
+        if isinstance(graph, MFGBlock):
+            # Compacted block: destination scores live in the (smaller)
+            # destination row space; sources keep the input row space.
+            num_dst = graph.num_dst_nodes
+            score_dst = graph.gather_dst(score_dst)
+        else:
+            num_dst = graph.num_nodes
         # Per-edge attention logits (E, H): materialized and saved by autograd.
         if plan is not None:
             raw = u_add_v(score_dst, score_src, plan)
@@ -111,8 +119,8 @@ class GATConv(GATBase):
             raw = ops.gather(score_dst, dst) + ops.gather(score_src, src)
         logits = F.leaky_relu(raw, self.negative_slope)
         # Normalized attention coefficients (E, H): another materialized tensor.
-        alpha = edge_softmax(logits, dst, graph.num_nodes, plan=plan)
-        return u_mul_e_sum(z, alpha, src, dst, graph.num_nodes, plan=plan)
+        alpha = edge_softmax(logits, dst, num_dst, plan=plan)
+        return u_mul_e_sum(z, alpha, src, dst, num_dst, plan=plan)
 
     def __repr__(self) -> str:
         return (

@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.graph import Graph
+from repro.graph.mfg import MFGBlock
 from repro.nn.gat import GATBase
 from repro.tensor.edge_plan import EdgePlan
 from repro.tensor.sparse import segment_max_np, segment_sum_np
@@ -91,8 +92,10 @@ def fused_gat_backward_np(grad_out: np.ndarray, z: np.ndarray, score_dst: np.nda
         grad_score_dst = plan.segment_sum(grad_raw).astype(score_dst.dtype)
         grad_score_src = plan.segment_sum_src(grad_raw).astype(score_src.dtype)
     else:
+        # Source rows are counted separately: on a compacted MFG block the
+        # source row space is larger than the destination row space.
         grad_score_dst = segment_sum_np(grad_raw, dst, num_nodes).astype(score_dst.dtype)
-        grad_score_src = segment_sum_np(grad_raw, src, num_nodes).astype(score_src.dtype)
+        grad_score_src = segment_sum_np(grad_raw, src, z.shape[0]).astype(score_src.dtype)
     return grad_z, grad_score_dst, grad_score_src
 
 
@@ -132,9 +135,14 @@ class FusedGATConv(GATBase):
                 f"Feature matrix has {x.shape[0]} rows but graph has {graph.num_nodes} nodes"
             )
         z, score_dst, score_src = self.project(x)
-        if isinstance(graph, Graph):
+        if isinstance(graph, (Graph, MFGBlock)):
+            if isinstance(graph, MFGBlock):
+                num_dst = graph.num_dst_nodes
+                score_dst = graph.gather_dst(score_dst)
+            else:
+                num_dst = graph.num_nodes
             aggregated = FusedGATAggregation.apply(
-                z, score_dst, score_src, graph.src, graph.dst, graph.num_nodes,
+                z, score_dst, score_src, graph.src, graph.dst, num_dst,
                 self.negative_slope, graph.plan(),
             )
         else:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.graph.mfg import MFGPipeline
 from repro.nn.dropout import Dropout
 from repro.nn.gat import GATConv
 from repro.nn.gat_fused import FusedGATConv
@@ -48,8 +49,23 @@ class _DeepGNN(Module):
         return len(self.convs)
 
     def forward(self, graph, x: Tensor) -> Tensor:
+        """Apply the stack on a graph, a distributed handle, or an MFG pipeline.
+
+        With an :class:`~repro.graph.mfg.MFGPipeline` each conv layer runs on
+        its compacted block: ``x`` holds the pipeline's ``input_nodes`` rows
+        and the output holds only the seed rows (``output_nodes``); the
+        between-layer norm/activation/dropout apply to the (shrinking)
+        restricted row sets.
+        """
+        pipeline = graph if isinstance(graph, MFGPipeline) else None
+        if pipeline is not None and pipeline.num_layers != len(self.convs):
+            raise ValueError(
+                f"MFG pipeline has {pipeline.num_layers} layer blocks but the "
+                f"model has {len(self.convs)} conv layers"
+            )
         for index, conv in enumerate(self.convs):
-            x = conv(graph, x)
+            layer_graph = pipeline.layer_block(index) if pipeline is not None else graph
+            x = conv(layer_graph, x)
             if index < len(self.convs) - 1:
                 if self.use_batch_norm:
                     x = self.norms[index](x)

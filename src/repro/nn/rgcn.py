@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from repro.graph.hetero import HeteroGraph
+from repro.graph.mfg import MFGHeteroBlock
 from repro.nn.linear import Linear
 from repro.nn.module import Module, Parameter
 from repro.tensor import init, ops
@@ -96,7 +97,7 @@ class RelGraphConv(Module):
             raise ValueError(
                 f"Feature matrix has {x.shape[0]} rows but graph has {graph.num_nodes} nodes"
             )
-        if isinstance(graph, HeteroGraph):
+        if isinstance(graph, (HeteroGraph, MFGHeteroBlock)):
             out: Optional[Tensor] = None
             for index, relation in enumerate(self.relation_names):
                 z_r = x @ self.relation_weight(index)
@@ -115,7 +116,8 @@ class RelGraphConv(Module):
                 self.in_features, self.out_features,
             )
         if self.self_linear is not None:
-            out = out + self.self_linear(x)
+            self_rows = graph.gather_dst(x) if isinstance(graph, MFGHeteroBlock) else x
+            out = out + self.self_linear(self_rows)
         if self.bias is not None:
             out = out + self.bias
         if self.activation is not None:

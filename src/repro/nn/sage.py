@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.graph.graph import Graph
+from repro.graph.mfg import MFGBlock
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor import functional as F
@@ -50,22 +51,26 @@ class SageConv(Module):
     def forward(self, graph, x: Tensor) -> Tensor:
         """Apply the layer.
 
-        ``graph`` is either a single-machine :class:`~repro.graph.graph.Graph`
-        or a distributed graph handle (``repro.core.DistributedGraph``), in
-        which case ``x`` holds only the local partition's rows and the
-        neighbour aggregation runs through the sequential-aggregation engine
-        (SAR / domain-parallel exchange) — the model code is identical in
-        both settings, as in the paper.
+        ``graph`` is a single-machine :class:`~repro.graph.graph.Graph`, a
+        compacted per-layer :class:`~repro.graph.mfg.MFGBlock` (the MFG
+        execution pipeline: ``x`` holds the block's required source rows and
+        the output the required destination rows), or a distributed graph
+        handle (``repro.core.DistributedGraph``), in which case ``x`` holds
+        only the local partition's rows and the neighbour aggregation runs
+        through the sequential-aggregation engine (SAR / domain-parallel
+        exchange) — the model code is identical in all settings, as in the
+        paper.
         """
         if x.shape[0] != graph.num_nodes:
             raise ValueError(
                 f"Feature matrix has {x.shape[0]} rows but graph has {graph.num_nodes} nodes"
             )
         z = self.neighbor_linear(x)
-        if isinstance(graph, Graph):
+        if isinstance(graph, (Graph, MFGBlock)):
+            num_dst = graph.num_dst_nodes if isinstance(graph, MFGBlock) else graph.num_nodes
             plan = graph.plan()
             if self.aggregator in ("max", "min"):
-                aggregated = pool_aggregate(z, graph.src, graph.dst, graph.num_nodes,
+                aggregated = pool_aggregate(z, graph.src, graph.dst, num_dst,
                                             op=self.aggregator, plan=plan)
             elif plan is not None:
                 aggregated = neighbor_aggregate(z, plan, op=self.aggregator)
@@ -73,9 +78,11 @@ class SageConv(Module):
                 norm = self.aggregator if self.aggregator == "mean" else "none"
                 aggregated = spmm(z, graph.adjacency(normalization=norm),
                                   graph.adjacency(transpose=True, normalization=norm))
+            self_rows = graph.gather_dst(x) if isinstance(graph, MFGBlock) else x
         else:
             aggregated = graph.aggregate_neighbors(z, op=self.aggregator)
-        out = self.self_linear(x) + aggregated
+            self_rows = x
+        out = self.self_linear(self_rows) + aggregated
         if self.activation is not None:
             out = self.activation(out)
         return out

@@ -144,6 +144,36 @@ class EdgeBlock:
                              shape=self._shape(transpose))
 
 
+def restrict_block_to_dst(block: EdgeBlock, dst_mask: np.ndarray) -> EdgeBlock:
+    """Drop the block's edges whose destination is outside ``dst_mask``.
+
+    This is the per-layer MFG restriction of the SAR path: the required
+    source set is recomputed from the surviving edges, so remote blocks
+    fetch (and receive backward errors for) strictly fewer halo rows.  The
+    destination row space keeps its full height — worker feature matrices
+    stay shaped ``(num_local_nodes, F)`` and the model code is unchanged;
+    rows outside the mask simply aggregate nothing.  Surviving edges keep
+    their original order, so per-row reductions stay bit-identical to the
+    unrestricted blocks.
+    """
+    dst_mask = np.asarray(dst_mask, dtype=bool)
+    if dst_mask.shape != (block.num_dst,):
+        raise ValueError(
+            f"dst_mask must have shape ({block.num_dst},), got {dst_mask.shape}"
+        )
+    keep = dst_mask[block.dst_local]
+    kept_src_index = block.src_index[keep]
+    required, src_index = np.unique(kept_src_index, return_inverse=True)
+    return EdgeBlock(
+        src_rank=block.src_rank,
+        dst_rank=block.dst_rank,
+        num_dst=block.num_dst,
+        required_src_local=block.required_src_local[required],
+        src_index=src_index.astype(np.int64),
+        dst_local=block.dst_local[keep],
+    )
+
+
 class ShardedGraph:
     """Worker ``rank``'s view of a partitioned homogeneous graph."""
 
@@ -159,6 +189,18 @@ class ShardedGraph:
         self.blocks = blocks
         self.local_in_degrees = np.asarray(local_in_degrees, dtype=np.int64)
         self.node_data: Dict[str, np.ndarray] = dict(node_data or {})
+
+    def with_blocks(self, blocks: List[EdgeBlock]) -> "ShardedGraph":
+        """A shallow view of this shard executing over substitute edge blocks.
+
+        Node data, the partition book, and the local in-degrees are shared
+        with the original shard — only the block grid differs.  Used by the
+        per-layer MFG restriction.
+        """
+        view = ShardedGraph.__new__(ShardedGraph)
+        view.__dict__.update(self.__dict__)
+        view.blocks = blocks
+        return view
 
     def __repr__(self) -> str:
         return (

@@ -35,6 +35,11 @@ from repro.datasets.synthetic import (
 from repro.distributed.cluster import ClusterRunResult, SimulatedCluster
 from repro.distributed.comm import Communicator
 from repro.graph.hetero import HeteroGraph
+from repro.graph.mfg import (
+    build_hetero_mfg_pipeline,
+    build_mfg_pipeline,
+    message_flow_masks,
+)
 from repro.nn.module import Module
 from repro.partition.book import PartitionBook
 from repro.partition.partitioner import partition_graph
@@ -51,6 +56,7 @@ from repro.training.metrics import (
     masked_accuracy,
 )
 from repro.utils.logging import get_logger
+from repro.utils.seed import temp_seed
 from repro.utils.timing import Timer, WorkerTimer
 
 logger = get_logger("training")
@@ -78,6 +84,14 @@ class TrainingConfig:
     eval_every: int = 0  # 0 = evaluate only after the final epoch
     seed: int = 0
     verbose: bool = False
+    #: Seed node ids for MFG-restricted training (paper Appendix B).  When
+    #: set, each training epoch only computes the rows inside the seed set's
+    #: receptive field — the loss is evaluated over these seeds — while
+    #: evaluation still runs over the full graph.  ``None`` disables the
+    #: restriction.  Note that batch normalization computes its statistics
+    #: over whichever rows a layer produces, so restricted and full training
+    #: only match exactly for models without batch norm.
+    mfg_seeds: Optional[Sequence[int]] = None
 
     def build_scheduler(self, optimizer) -> Optional[LRScheduler]:
         if self.lr_schedule == "cosine":
@@ -192,6 +206,22 @@ class FullBatchTrainer:
                               weight_decay=self.config.weight_decay)
         self.scheduler = self.config.build_scheduler(self.optimizer)
         self._rng = np.random.default_rng(self.config.seed)
+        self.mfg_pipeline = None
+        if self.config.mfg_seeds is not None:
+            num_layers = getattr(model, "num_layers", None)
+            if num_layers is None:
+                raise ValueError(
+                    "mfg_seeds requires a model exposing num_layers (one compacted "
+                    "block is built per conv layer)"
+                )
+            if isinstance(self.graph, HeteroGraph):
+                self.mfg_pipeline = build_hetero_mfg_pipeline(
+                    self.graph, self.config.mfg_seeds, num_layers
+                )
+            else:
+                self.mfg_pipeline = build_mfg_pipeline(
+                    self.graph, self.config.mfg_seeds, num_layers
+                )
 
     # ------------------------------------------------------------------ #
     def train(self) -> TrainingResult:
@@ -203,8 +233,18 @@ class FullBatchTrainer:
             features, predict_mask = self.augmenter.training_batch(
                 dataset.features, dataset.labels, dataset.train_mask, self._rng
             )
-            logits = self.model(self.graph, Tensor(features))
-            loss = _local_loss(logits, dataset.labels, predict_mask)
+            if self.mfg_pipeline is not None:
+                # Restricted epoch: only the receptive field of the seed set is
+                # computed; the logits rows are exactly the (sorted) seeds.
+                out_nodes = self.mfg_pipeline.output_nodes
+                logits = self.model(self.mfg_pipeline,
+                                    Tensor(self.mfg_pipeline.gather_inputs(features)))
+                labels = dataset.labels[out_nodes]
+                predict_mask = np.asarray(predict_mask)[out_nodes]
+            else:
+                logits = self.model(self.graph, Tensor(features))
+                labels = dataset.labels
+            loss = _local_loss(logits, labels, predict_mask)
             count = max(int(np.asarray(predict_mask).sum()), 1)
             self.model.zero_grad()
             loss.backward()
@@ -269,10 +309,19 @@ def _distributed_evaluate(dist_graph, model: Module, augmenter, features: np.nda
                           labels: np.ndarray, masks: Dict[str, np.ndarray],
                           comm: Communicator) -> tuple[Dict[str, float], np.ndarray]:
     model.eval()
-    dist_graph.begin_step()
-    with no_grad():
-        augmented = augmenter.inference_batch(features, labels, masks["train"])
-        logits = model(dist_graph, Tensor(augmented))
+    # Evaluation scores every row, so any MFG restriction is lifted for the
+    # duration of the inference pass.
+    restricted = getattr(dist_graph, "mfg_active", False)
+    if restricted:
+        dist_graph.set_mfg_active(False)
+    try:
+        dist_graph.begin_step()
+        with no_grad():
+            augmented = augmenter.inference_batch(features, labels, masks["train"])
+            logits = model(dist_graph, Tensor(augmented))
+    finally:
+        if restricted:
+            dist_graph.set_mfg_active(True)
     report = evaluation_report(logits, labels, masks, comm)
     model.train()
     return report, logits.data
@@ -281,9 +330,22 @@ def _distributed_evaluate(dist_graph, model: Module, augmenter, features: np.nda
 def distributed_train_worker(rank: int, comm: Communicator, shard, *,
                              model_factory: ModelFactory, feature_dim: int,
                              num_classes: int, config: TrainingConfig,
-                             sar_config: SARConfig) -> Dict[str, Any]:
-    """Per-worker training loop (executed by the simulated cluster)."""
+                             sar_config: SARConfig,
+                             mfg_masks: Optional[Sequence[np.ndarray]] = None
+                             ) -> Dict[str, Any]:
+    """Per-worker training loop (executed by the simulated cluster).
+
+    ``mfg_masks`` are the global per-layer required-node masks computed by the
+    driver (:class:`DistributedTrainer`) when ``config.mfg_seeds`` is set:
+    training epochs run with per-layer restricted blocks (smaller halo
+    fetches), evaluation temporarily lifts the restriction so every row's
+    logits exist.
+    """
     dist_graph = _build_distributed_graph(shard, comm, sar_config)
+    if mfg_masks is not None:
+        if not isinstance(dist_graph, DistributedGraph):
+            raise ValueError("MFG-restricted training supports homogeneous graphs only")
+        dist_graph.enable_mfg(mfg_masks)
     augmenter = _make_augmenter(config, num_classes)
     model = model_factory(augmenter.augmented_dim(feature_dim))
     if hasattr(model, "set_comm"):
@@ -299,6 +361,11 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
         "val": shard.node_data["val_mask"],
         "test": shard.node_data["test_mask"],
     }
+    seed_mask_local = None
+    if mfg_masks is not None:
+        # Under MFG restriction only the seed rows carry trustworthy logits;
+        # the per-epoch loss mask is clipped to them.
+        seed_mask_local = np.asarray(mfg_masks[-1], dtype=bool)[shard.global_node_ids]
     rng = np.random.default_rng(config.seed * 100_003 + rank)
     records: List[EpochRecord] = []
 
@@ -309,6 +376,8 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
         augmented, predict_mask = augmenter.training_batch(
             features, labels, masks["train"], rng
         )
+        if seed_mask_local is not None:
+            predict_mask = np.asarray(predict_mask, dtype=bool) & seed_mask_local
         logits = model(dist_graph, Tensor(augmented))
         loss = _local_loss(logits, labels, predict_mask)
         local_count = int(np.asarray(predict_mask).sum())
@@ -379,6 +448,25 @@ class DistributedTrainer:
             shards = create_shards(dataset.graph, book)
         return book, shards
 
+    def _mfg_masks(self) -> Optional[List[np.ndarray]]:
+        """Global per-layer required-node masks when MFG restriction is on."""
+        if self.config.mfg_seeds is None:
+            return None
+        if isinstance(self.dataset, HeteroNodeClassificationDataset) and \
+                self.dataset.hetero_graph is not None:
+            raise ValueError("MFG-restricted training supports homogeneous graphs only")
+        # The probe exists only to read num_layers; isolate its parameter
+        # draws so enabling MFG does not shift the workers' initial weights.
+        with temp_seed(0):
+            probe = self.model_factory(self.dataset.feature_dim)
+        num_layers = getattr(probe, "num_layers", None)
+        if num_layers is None:
+            raise ValueError(
+                "mfg_seeds requires a model exposing num_layers (one restricted "
+                "block grid is built per conv layer)"
+            )
+        return message_flow_masks(self.dataset.graph, self.config.mfg_seeds, num_layers)
+
     def run(self) -> DistributedTrainingResult:
         cluster = SimulatedCluster(self.num_workers, timeout_s=self.timeout_s)
         result = cluster.run(
@@ -389,6 +477,7 @@ class DistributedTrainer:
             num_classes=self.dataset.num_classes,
             config=self.config,
             sar_config=self.sar_config,
+            mfg_masks=self._mfg_masks(),
         )
         rank0 = result.results[0]
         training = TrainingResult(

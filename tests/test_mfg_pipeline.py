@@ -1,0 +1,352 @@
+"""Tests for the MFG execution pipeline (compacted per-layer blocks).
+
+The defining property of the pipeline is *exact* parity: a block contains a
+required destination's complete in-neighbourhood in the original edge order,
+so the restricted forward pass must produce bit-identical seed-node logits —
+single-machine over :class:`~repro.graph.mfg.MFGBlock` chains, and 2-worker
+SAR over per-layer restricted edge blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SARConfig
+from repro.core.dist_graph import DistributedGraph
+from repro.distributed.cluster import run_distributed
+from repro.graph import (
+    Graph,
+    HeteroGraph,
+    MFGBlock,
+    build_hetero_mfg_pipeline,
+    build_mfg_pipeline,
+    hetero_message_flow_masks,
+    message_flow_masks,
+    stochastic_block_model,
+)
+from repro.nn.models import GATNet, GraphSageNet, RGCNNet
+from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.partition.shard import restrict_block_to_dst
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.edge_plan import plans_disabled
+from repro.training.trainer import (
+    DistributedTrainer,
+    FullBatchTrainer,
+    TrainingConfig,
+)
+from repro.utils.seed import set_seed
+
+
+@pytest.fixture
+def mfg_setup(rng):
+    graph, _ = stochastic_block_model([150] * 4, p_in=0.04, p_out=0.004, seed=3)
+    graph = graph.add_self_loops()
+    features = rng.standard_normal((graph.num_nodes, 12)).astype(np.float32)
+    labels = rng.integers(0, 4, graph.num_nodes)
+    seeds = np.sort(rng.choice(graph.num_nodes, 15, replace=False))
+    return graph, features, labels, seeds
+
+
+def _loss_over(logits, labels, rows=None):
+    if rows is not None:
+        labels = labels[rows]
+    return F.cross_entropy(logits, labels, reduction="sum")
+
+
+def _full_vs_mfg(factory, graph, pipeline, features, labels):
+    """Forward+backward both ways; return (full seed logits, mfg logits, grad diffs)."""
+    seeds = pipeline.output_nodes
+    seed_mask = np.zeros(graph.num_nodes, dtype=bool)
+    seed_mask[seeds] = True
+
+    set_seed(0)
+    model_full = factory()
+    logits_full = model_full(graph, Tensor(features))
+    model_full.zero_grad()
+    _loss_over(logits_full[seed_mask], labels, seeds).backward()
+
+    set_seed(0)
+    model_mfg = factory()
+    logits_mfg = model_mfg(pipeline, Tensor(pipeline.gather_inputs(features)))
+    model_mfg.zero_grad()
+    _loss_over(logits_mfg, labels, seeds).backward()
+
+    grad_diffs = [np.abs(a.grad - b.grad).max()
+                  for a, b in zip(model_full.parameters(), model_mfg.parameters())]
+    return logits_full.data[seeds], logits_mfg.data, grad_diffs
+
+
+class TestPipelineStructure:
+    def test_blocks_chain_and_outputs_are_seeds(self, mfg_setup):
+        graph, _, _, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
+        assert pipeline.num_layers == 3
+        np.testing.assert_array_equal(pipeline.output_nodes, seeds)
+        for left, right in zip(pipeline.blocks, pipeline.blocks[1:]):
+            np.testing.assert_array_equal(left.dst_nodes, right.src_nodes)
+        for block in pipeline.blocks:
+            # dst ⊆ src (cumulative masks) and the gather map agrees.
+            np.testing.assert_array_equal(block.src_nodes[block.dst_in_src],
+                                          block.dst_nodes)
+
+    def test_block_keeps_complete_in_neighbourhood(self, mfg_setup):
+        graph, _, _, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=2)
+        block = pipeline.blocks[-1]
+        full_in_degrees = graph.in_degrees()
+        np.testing.assert_array_equal(block.in_degrees(),
+                                      full_in_degrees[block.dst_nodes])
+
+    def test_counts_match_masks(self, mfg_setup):
+        graph, _, _, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
+        from repro.graph import required_node_counts
+
+        assert pipeline.required_node_counts() == required_node_counts(
+            graph, seeds, num_layers=3
+        )
+
+    def test_layer_block_bounds_checked(self, mfg_setup):
+        graph, _, _, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=2)
+        with pytest.raises(IndexError):
+            pipeline.layer_block(2)
+
+    def test_model_layer_mismatch_raises(self, mfg_setup):
+        graph, features, _, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=2)
+        model = GraphSageNet(12, 8, 4, num_layers=3, dropout=0.0,
+                             use_batch_norm=False)
+        with pytest.raises(ValueError, match="conv layers"):
+            model(pipeline, Tensor(pipeline.gather_inputs(features)))
+
+
+class TestSingleMachineParity:
+    @pytest.mark.parametrize("aggregator", ["mean", "sum", "max"])
+    def test_sage_bit_identical_logits_and_matching_grads(self, mfg_setup, aggregator):
+        graph, features, labels, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
+        factory = lambda: GraphSageNet(12, 16, 4, dropout=0.0, use_batch_norm=False,
+                                       aggregator=aggregator)
+        full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline, features, labels)
+        np.testing.assert_array_equal(full, mfg)
+        assert max(grad_diffs) < 1e-4
+
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_gat_bit_identical_logits_and_matching_grads(self, mfg_setup, fused):
+        graph, features, labels, seeds = mfg_setup
+        pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
+        factory = lambda: GATNet(12, 8, 4, num_heads=2, dropout=0.0,
+                                 use_batch_norm=False, fused=fused)
+        full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline, features, labels)
+        np.testing.assert_array_equal(full, mfg)
+        assert max(grad_diffs) < 1e-4
+
+    def test_sage_parity_on_naive_kernels(self, mfg_setup):
+        graph, features, labels, seeds = mfg_setup
+        with plans_disabled():
+            pipeline = build_mfg_pipeline(graph, seeds, num_layers=2)
+            factory = lambda: GraphSageNet(12, 16, 4, num_layers=2, dropout=0.0,
+                                           use_batch_norm=False)
+            full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline,
+                                                 features, labels)
+        np.testing.assert_allclose(full, mfg, rtol=1e-5, atol=1e-6)
+        assert max(grad_diffs) < 1e-4
+
+    def test_rgcn_bit_identical_logits(self, rng):
+        num_nodes = 300
+        relations = {}
+        for name in ("cites", "writes"):
+            edges = rng.integers(0, num_nodes, (2, 1200))
+            relations[name] = (edges[0].astype(np.int64), edges[1].astype(np.int64))
+        hgraph = HeteroGraph(num_nodes, relations)
+        features = rng.standard_normal((num_nodes, 10)).astype(np.float32)
+        labels = rng.integers(0, 3, num_nodes)
+        seeds = np.sort(rng.choice(num_nodes, 12, replace=False))
+        pipeline = build_hetero_mfg_pipeline(hgraph, seeds, num_layers=2)
+        np.testing.assert_array_equal(pipeline.output_nodes, seeds)
+
+        factory = lambda: RGCNNet(10, 12, 3, hgraph.relation_names, num_layers=2,
+                                  dropout=0.0, use_batch_norm=False)
+        full, mfg, grad_diffs = _full_vs_mfg(factory, hgraph, pipeline,
+                                             features, labels)
+        np.testing.assert_array_equal(full, mfg)
+        assert max(grad_diffs) < 1e-4
+
+    def test_hetero_masks_union_all_relations(self):
+        relations = {
+            "a": (np.array([0]), np.array([1])),
+            "b": (np.array([2]), np.array([1])),
+        }
+        hgraph = HeteroGraph(3, relations)
+        masks = hetero_message_flow_masks(hgraph, [1], num_layers=1)
+        np.testing.assert_array_equal(masks[0], [True, True, True])
+        np.testing.assert_array_equal(masks[1], [False, True, False])
+
+
+class TestTrainerIntegration:
+    def test_full_batch_trainer_with_mfg_seeds(self, small_dataset):
+        seeds = small_dataset.train_indices()
+        config = dict(num_epochs=3, lr=0.05, eval_every=0, seed=0)
+        model_kwargs = dict(dropout=0.0, use_batch_norm=False)
+
+        set_seed(0)
+        baseline = FullBatchTrainer(
+            GraphSageNet(small_dataset.feature_dim, 16, small_dataset.num_classes,
+                         **model_kwargs),
+            small_dataset, TrainingConfig(**config),
+        ).train()
+
+        set_seed(0)
+        restricted = FullBatchTrainer(
+            GraphSageNet(small_dataset.feature_dim, 16, small_dataset.num_classes,
+                         **model_kwargs),
+            small_dataset, TrainingConfig(mfg_seeds=seeds, **config),
+        ).train()
+
+        # Same loss trajectory (losses are means over the same seed set) and
+        # the full-graph evaluation still reports every split.
+        np.testing.assert_allclose(restricted.losses(), baseline.losses(),
+                                   rtol=1e-4, atol=1e-6)
+        assert set(restricted.final_accuracies) == {"train", "val", "test"}
+
+    def test_mfg_seeds_requires_num_layers(self, small_dataset):
+        from repro.nn.sage import SageConv
+
+        with pytest.raises(ValueError, match="num_layers"):
+            FullBatchTrainer(
+                SageConv(small_dataset.feature_dim, small_dataset.num_classes),
+                small_dataset,
+                TrainingConfig(mfg_seeds=small_dataset.train_indices()),
+            )
+
+    @pytest.mark.slow
+    def test_distributed_trainer_with_mfg_seeds(self, small_dataset):
+        config = TrainingConfig(num_epochs=2, lr=0.05, eval_every=0, seed=0,
+                                mfg_seeds=small_dataset.train_indices())
+        trainer = DistributedTrainer(
+            small_dataset,
+            lambda dim: GraphSageNet(dim, 16, small_dataset.num_classes,
+                                     dropout=0.0, use_batch_norm=False),
+            num_workers=2,
+            config=config,
+        )
+        result = trainer.run()
+        assert len(result.training.records) == 2
+        assert np.isfinite(result.training.final_test_accuracy)
+
+
+# --------------------------------------------------------------------------- #
+# distributed (2-worker SAR) parity
+# --------------------------------------------------------------------------- #
+def _make_dist_model(model_name):
+    if model_name == "sage":
+        return GraphSageNet(12, 16, 4, dropout=0.0, use_batch_norm=False)
+    return GATNet(12, 8, 4, num_heads=2, dropout=0.0, use_batch_norm=False)
+
+
+def _dist_worker(rank, comm, shard, *, model_name, weights, masks, features,
+                 labels, seeds, use_mfg):
+    # Worker threads share the global RNG, so replica parameters are shipped
+    # from the parent instead of re-drawn per worker.
+    model = _make_dist_model(model_name)
+    for param, value in zip(model.parameters(), weights):
+        param.data[...] = value
+    dist_graph = DistributedGraph(shard, comm, SARConfig("sar"))
+    if use_mfg:
+        dist_graph.enable_mfg(masks)
+    dist_graph.begin_step()
+    logits = model(dist_graph, Tensor(features[shard.global_node_ids]))
+    local_seed = np.isin(shard.global_node_ids, seeds)
+    if local_seed.any():
+        loss = _loss_over(logits[local_seed],
+                          labels[shard.global_node_ids][local_seed])
+    else:
+        loss = logits.sum() * 0.0
+    model.zero_grad()
+    loss.backward()
+    from repro.core.grad_sync import sync_gradients
+
+    sync_gradients(model.parameters(), comm, scale=1.0)
+    halo_bytes = comm.stats.received_by_tag.get("forward_halo", 0)
+    return logits.data, [p.grad.copy() for p in model.parameters()], halo_bytes
+
+
+class TestDistributedSARParity:
+    @pytest.mark.parametrize("model_name", ["sage", "gat"])
+    def test_mfg_matches_full_and_shrinks_halo(self, mfg_setup, model_name):
+        graph, features, labels, seeds = mfg_setup
+        masks = message_flow_masks(graph, seeds, num_layers=3)
+        book = PartitionBook(partition_graph(graph, 2, seed=0), 2)
+        shards = create_shards(graph, book)
+        set_seed(0)
+        weights = [p.data.copy() for p in _make_dist_model(model_name).parameters()]
+        kwargs = dict(model_name=model_name, weights=weights, masks=masks,
+                      features=features, labels=labels, seeds=seeds)
+
+        full = run_distributed(_dist_worker, 2, worker_args=shards,
+                               use_mfg=False, **kwargs)
+        mfg = run_distributed(_dist_worker, 2, worker_args=shards,
+                              use_mfg=True, **kwargs)
+
+        logits_full = book.scatter_to_global([r[0] for r in full.results])
+        logits_mfg = book.scatter_to_global([r[0] for r in mfg.results])
+        np.testing.assert_array_equal(logits_full[seeds], logits_mfg[seeds])
+        for grad_full, grad_mfg in zip(full.results[0][1], mfg.results[0][1]):
+            np.testing.assert_allclose(grad_full, grad_mfg, rtol=1e-5, atol=1e-6)
+        # The restriction must fetch strictly fewer halo rows on every worker.
+        for (_, _, full_bytes), (_, _, mfg_bytes) in zip(full.results, mfg.results):
+            assert mfg_bytes < full_bytes
+
+    def test_restrict_block_validates_mask_shape(self, mfg_setup):
+        graph, _, _, _ = mfg_setup
+        book = PartitionBook(partition_graph(graph, 2, seed=0), 2)
+        shards = create_shards(graph, book)
+        with pytest.raises(ValueError, match="dst_mask"):
+            restrict_block_to_dst(shards[0].blocks[0], np.ones(3, dtype=bool))
+
+    def test_restricted_block_preserves_edge_subset(self, mfg_setup):
+        graph, _, _, seeds = mfg_setup
+        book = PartitionBook(partition_graph(graph, 2, seed=0), 2)
+        shards = create_shards(graph, book)
+        block = shards[0].blocks[1]
+        dst_mask = np.zeros(block.num_dst, dtype=bool)
+        dst_mask[block.dst_local[: block.num_edges // 2]] = True
+        restricted = restrict_block_to_dst(block, dst_mask)
+        assert restricted.num_edges == int(dst_mask[block.dst_local].sum())
+        # Restricted sources are a subset of the original required rows.
+        assert np.isin(restricted.required_src_local,
+                       block.required_src_local).all()
+        # Edge endpoints survive unchanged.
+        original_pairs = set(zip(
+            block.required_src_local[block.src_index].tolist(),
+            block.dst_local.tolist(),
+        ))
+        restricted_pairs = set(zip(
+            restricted.required_src_local[restricted.src_index].tolist(),
+            restricted.dst_local.tolist(),
+        ))
+        assert restricted_pairs <= original_pairs
+
+    def test_mfg_layer_overrun_raises(self, mfg_setup):
+        graph, features, _, seeds = mfg_setup
+        masks = message_flow_masks(graph, seeds, num_layers=1)
+        book = PartitionBook(partition_graph(graph, 2, seed=0), 2)
+        shards = create_shards(graph, book)
+
+        def worker(rank, comm, shard):
+            dist_graph = DistributedGraph(shard, comm, SARConfig("sar"))
+            dist_graph.enable_mfg(masks)
+            dist_graph.begin_step()
+            z = Tensor(features[shard.global_node_ids])
+            dist_graph.aggregate_neighbors(z, op="sum")
+            try:
+                dist_graph.aggregate_neighbors(z, op="sum")
+            except RuntimeError as exc:
+                return "raised" if "MFG restriction covers" in str(exc) else repr(exc)
+            return "no error"
+
+        result = run_distributed(worker, 2, worker_args=shards)
+        assert result.results == ["raised", "raised"]

@@ -1,31 +1,43 @@
 """Tests for the true multi-process backend (one OS process per worker).
 
-Kept intentionally small (2 workers, a tiny graph) — the thread backend is the
-workhorse; these tests demonstrate that the SAR machinery only depends on the
-abstract Communicator interface and runs unchanged across processes.
+Kept intentionally small (≤3 workers, a tiny graph) — the thread backend is
+the workhorse; these tests demonstrate that the SAR machinery only depends on
+the abstract Communicator interface and runs unchanged across processes, and
+that the parent never hangs or leaks children when a worker fails.
 """
+
+import multiprocessing as mp
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import SARConfig
-from repro.distributed.mp_backend import run_multiprocess
+from repro.distributed.mp_backend import WorkerFailedError, run_multiprocess
 from repro.graph import stochastic_block_model
 from repro.partition import PartitionBook, create_shards, partition_graph
 from repro.tensor import Tensor
 
 
 def _collective_worker(rank, comm):
+    ws = comm.world_size
     total = comm.allreduce(np.array([rank + 1.0]))
     comm.publish("x", np.full(3, rank, dtype=np.float32))
-    fetched = comm.fetch((rank + 1) % comm.world_size, "x")
+    fetched = comm.fetch((rank + 1) % ws, "x")
     exchanged = comm.exchange("e", {q: np.array([float(rank)], dtype=np.float32)
-                                    for q in range(comm.world_size) if q != rank})
+                                    for q in range(ws) if q != rank})
     gathered = comm.allgather(np.array([rank], dtype=np.int64))
     comm.barrier()
     return (float(total[0]), float(fetched[0]),
             sorted((k, float(v[0])) for k, v in exchanged.items()),
             [int(g[0]) for g in gathered])
+
+
+def _stats_worker(rank, comm):
+    payload = np.ones(3, dtype=np.float32)
+    comm.exchange("s", {q: payload for q in range(comm.world_size) if q != rank})
+    return dict(comm.stats.sent_by_tag), dict(comm.stats.received_by_tag)
 
 
 def _sar_aggregation_worker(rank, comm, shard, z_full=None):
@@ -42,16 +54,51 @@ def _sar_aggregation_worker(rank, comm, shard, z_full=None):
 def _failing_worker(rank, comm):
     if rank == 1:
         raise ValueError("mp boom")
+    comm.barrier()  # would deadlock without failure propagation
     return True
 
 
+def _dying_worker(rank, comm):
+    if rank == 1:
+        os._exit(13)  # silent death: no result, no exception handler
+    comm.barrier()
+    return True
+
+
+def _dying_peer_fetch_worker(rank, comm):
+    if rank == 1:
+        os._exit(5)
+    return float(comm.fetch(1, "never-published")[0])
+
+
+def _assert_no_children(timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while mp.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not mp.active_children(), "run_multiprocess leaked child processes"
+
+
 class TestMultiprocessBackend:
-    def test_collectives_across_processes(self):
-        results = run_multiprocess(_collective_worker, world_size=2, timeout_s=120)
-        assert results[0][0] == 3.0 and results[1][0] == 3.0
-        assert results[0][1] == 1.0 and results[1][1] == 0.0
-        assert results[0][2] == [(1, 1.0)]
-        assert results[0][3] == [0, 1]
+    @pytest.mark.parametrize("world_size", [1, 2, 3])
+    def test_collectives_across_processes(self, world_size):
+        results = run_multiprocess(_collective_worker, world_size=world_size,
+                                   timeout_s=120)
+        expected_total = world_size * (world_size + 1) / 2
+        for rank, (total, fetched, exchanged, gathered) in enumerate(results):
+            assert total == expected_total
+            assert fetched == float((rank + 1) % world_size)
+            assert exchanged == sorted(
+                (q, float(q)) for q in range(world_size) if q != rank
+            )
+            assert gathered == list(range(world_size))
+
+    def test_exchange_stats_accounting(self):
+        # 3 float32 values to each of 2 peers = 24 bytes out and in per rank,
+        # all under the default "exchange" tag (self-delivery never counts).
+        results = run_multiprocess(_stats_worker, world_size=3, timeout_s=120)
+        for sent, received in results:
+            assert sent == {"exchange": 24}
+            assert received == {"exchange": 24}
 
     def test_sar_aggregation_matches_single_machine(self):
         graph, _ = stochastic_block_model([30, 30], p_in=0.15, p_out=0.03, seed=1)
@@ -68,9 +115,27 @@ class TestMultiprocessBackend:
         expected = np.asarray(graph.adjacency(normalization="mean") @ z_full)
         np.testing.assert_allclose(stitched, expected, rtol=1e-3, atol=1e-3)
 
-    def test_worker_error_is_reported(self):
+    def test_worker_error_is_reported_and_survivors_unblock(self):
+        start = time.monotonic()
         with pytest.raises(RuntimeError, match="mp boom"):
-            run_multiprocess(_failing_worker, world_size=2, timeout_s=60)
+            run_multiprocess(_failing_worker, world_size=2, timeout_s=120)
+        # Rank 0 is parked in a barrier when rank 1 raises; the abort must
+        # unblock it long before the 120 s timeout.
+        assert time.monotonic() - start < 60
+        _assert_no_children()
+
+    def test_worker_crash_raises_naming_dead_rank(self):
+        start = time.monotonic()
+        with pytest.raises(WorkerFailedError,
+                           match=r"rank 1: worker process died without posting"):
+            run_multiprocess(_dying_worker, world_size=2, timeout_s=120)
+        assert time.monotonic() - start < 60
+        _assert_no_children()
+
+    def test_peer_crash_unblocks_pending_fetch(self):
+        with pytest.raises(WorkerFailedError, match="rank 1"):
+            run_multiprocess(_dying_peer_fetch_worker, world_size=2, timeout_s=120)
+        _assert_no_children()
 
     def test_worker_args_length_validated(self):
         with pytest.raises(ValueError):
