@@ -26,7 +26,6 @@ from repro.partition import (
     partition_graph,
 )
 from repro.tensor import Tensor
-from repro.tensor.sparse import segment_sum_np
 from repro.utils.seed import set_seed
 
 

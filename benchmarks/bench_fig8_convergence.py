@@ -15,7 +15,6 @@ DESIGN.md / EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import nn
@@ -33,7 +32,8 @@ def _train_curve(dataset, label_augmentation: bool):
     set_seed(0)
     config = TrainingConfig(num_epochs=NUM_EPOCHS, lr=0.01, eval_every=EVAL_EVERY,
                             label_augmentation=label_augmentation, lr_schedule="cosine")
-    factory = lambda in_f: nn.GraphSageNet(in_f, 64, dataset.num_classes, dropout=0.3)
+    def factory(in_f):
+        return nn.GraphSageNet(in_f, 64, dataset.num_classes, dropout=0.3)
     trainer = DistributedTrainer(dataset, factory, num_workers=NUM_WORKERS,
                                  sar_config=SARConfig("sar"), config=config,
                                  timeout_s=1200.0)

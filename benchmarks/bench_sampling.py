@@ -1,0 +1,323 @@
+"""Mini-batch neighbour-sampled training vs. full-batch and MFG-restricted epochs.
+
+The full-batch path computes every node's activations each epoch; the MFG
+restriction (Appendix B) helps only when the training seeds' receptive field
+is a small fraction of the graph.  On a papers100M-like workload — sparse
+labels scattered across every community — the 3-hop receptive field of the
+training set covers nearly the whole graph, so neither full-batch nor MFG
+epochs get cheaper.  GraphSAGE-style neighbour sampling caps the per-layer
+fanout instead, which bounds the work per seed regardless of locality; this
+benchmark measures real epoch times (forward, loss, backward, optimizer
+steps) and per-epoch peak live-tensor memory for all three paths.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py            # full run
+    PYTHONPATH=src python benchmarks/bench_sampling.py --smoke    # CI gate
+
+``--smoke`` runs a tiny workload and asserts the subsystem's correctness
+contracts instead of timing:
+
+* ``fanout=-1`` sampling reproduces the full-neighbourhood MFG pipeline
+  **bit-identically** (structures and logits);
+* the sampler is deterministic across the thread-pool prefetch path (same
+  seed => same batches, with any ``num_workers``), and re-iterating an epoch
+  replays it exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.datasets import ogbn_papers_mini
+from repro.graph import build_mfg_pipeline
+from repro.nn.models import GATNet, GraphSageNet
+from repro.sample import MiniBatchDataLoader, NeighborSampler
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.memory import MemoryTracker, track_memory
+from repro.tensor.optim import Adam
+from repro.utils.seed import set_seed
+
+# The full workload mirrors papers100M's label sparsity: ~1.2% of its nodes
+# are labelled, while ogbn_papers_mini marks a generous 10% as training
+# nodes.  The benchmark trains on the first `num_train_seeds` training ids
+# (~2.5% of the graph) so per-epoch work is dominated by the labelled set —
+# the regime neighbour sampling exists for.  Full-batch epochs still compute
+# every node, and the MFG restriction barely helps because 640 seeds spread
+# over every community pull in almost the whole graph within 3 hops.
+FULL_SIZES = dict(
+    scale=4.0,
+    num_train_seeds=640,
+    fanouts=(4, 4, 4),
+    batch_size=640,
+    hidden=64,
+    heads=4,
+    repeats=3,
+)
+SMOKE_SIZES = dict(
+    scale=0.05,
+    num_train_seeds=32,
+    fanouts=(3, 3),
+    batch_size=32,
+    hidden=8,
+    heads=2,
+    repeats=1,
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` runs (after one untimed warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _peak_mb(fn) -> float:
+    """Peak live-tensor megabytes over one invocation of ``fn``."""
+    tracker = MemoryTracker(label="bench")
+    with track_memory(tracker):
+        fn()
+    return tracker.peak_mb
+
+
+def _full_batch_epoch(model, graph, features, labels, train_mask):
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    masked_labels = labels[train_mask]
+
+    def epoch():
+        model.zero_grad()
+        logits = model(graph, Tensor(features))
+        loss = F.cross_entropy(logits[train_mask], masked_labels, reduction="sum")
+        loss.backward()
+        optimizer.step()
+
+    return epoch
+
+
+def _mfg_epoch(model, pipeline, features, labels):
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    inputs = pipeline.gather_inputs(features)
+    masked_labels = labels[pipeline.output_nodes]
+
+    def epoch():
+        model.zero_grad()
+        logits = model(pipeline, Tensor(inputs))
+        loss = F.cross_entropy(logits, masked_labels, reduction="sum")
+        loss.backward()
+        optimizer.step()
+
+    return epoch
+
+
+def _sampled_epoch(model, loader, features, labels):
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    epoch_counter = [0]
+
+    def epoch():
+        epoch_counter[0] += 1
+        for batch in loader.iter_epoch(epoch_counter[0]):
+            model.zero_grad()
+            logits = model(batch.pipeline, Tensor(batch.gather_inputs(features)))
+            loss = F.cross_entropy(logits, labels[batch.seeds], reduction="sum")
+            loss.backward()
+            optimizer.step()
+
+    return epoch
+
+
+def _train_seed_ids(dataset, sizes) -> np.ndarray:
+    return dataset.train_indices()[: sizes["num_train_seeds"]]
+
+
+def bench_model(name, factory, dataset, sizes, results):
+    graph = dataset.graph
+    features, labels = dataset.features, dataset.labels
+    train_ids = _train_seed_ids(dataset, sizes)
+    train_mask = np.zeros(graph.num_nodes, dtype=bool)
+    train_mask[train_ids] = True
+    num_layers = len(sizes["fanouts"])
+    pipeline = build_mfg_pipeline(graph, train_ids, num_layers)
+
+    set_seed(0)
+    full_epoch = _full_batch_epoch(factory(), graph, features, labels, train_mask)
+    set_seed(0)
+    mfg_epoch = _mfg_epoch(factory(), pipeline, features, labels)
+    set_seed(0)
+    sampler = NeighborSampler(graph, sizes["fanouts"], seed=0)
+    loader = MiniBatchDataLoader(sampler, train_ids, batch_size=sizes["batch_size"], num_workers=1)
+    sampled_epoch = _sampled_epoch(factory(), loader, features, labels)
+
+    full_s = _best_of(full_epoch, sizes["repeats"])
+    mfg_s = _best_of(mfg_epoch, sizes["repeats"])
+    sampled_s = _best_of(sampled_epoch, sizes["repeats"])
+    results[name] = {
+        "full_epoch_ms": round(full_s * 1e3, 3),
+        "mfg_epoch_ms": round(mfg_s * 1e3, 3),
+        "sampled_epoch_ms": round(sampled_s * 1e3, 3),
+        "speedup_vs_full": round(full_s / sampled_s, 2) if sampled_s else float("inf"),
+        "speedup_vs_mfg": round(mfg_s / sampled_s, 2) if sampled_s else float("inf"),
+        "full_peak_mb": round(_peak_mb(full_epoch), 2),
+        "sampled_peak_mb": round(_peak_mb(sampled_epoch), 2),
+        "batches_per_epoch": len(loader),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# smoke gates
+# --------------------------------------------------------------------------- #
+def _assert_full_fanout_parity(dataset, sizes):
+    """fanout=-1 sampling must reproduce the MFG pipeline bit-identically."""
+    graph = dataset.graph
+    train_ids = _train_seed_ids(dataset, sizes)
+    num_layers = len(sizes["fanouts"])
+    mfg = build_mfg_pipeline(graph, train_ids, num_layers)
+    sampled = NeighborSampler(graph, [-1] * num_layers, seed=0).sample(train_ids)
+    for layer in range(num_layers):
+        ref, got = mfg.layer_block(layer), sampled.layer_block(layer)
+        assert np.array_equal(ref.src_nodes, got.src_nodes), f"layer {layer} src_nodes"
+        assert np.array_equal(ref.dst_nodes, got.dst_nodes), f"layer {layer} dst_nodes"
+        assert np.array_equal(ref.src, got.src), f"layer {layer} edges (src)"
+        assert np.array_equal(ref.dst, got.dst), f"layer {layer} edges (dst)"
+
+    set_seed(0)
+    model = GraphSageNet(
+        dataset.feature_dim,
+        sizes["hidden"],
+        dataset.num_classes,
+        num_layers=num_layers,
+        dropout=0.0,
+        use_batch_norm=False,
+    )
+    ref_logits = model(mfg, Tensor(mfg.gather_inputs(dataset.features))).data
+    got_logits = model(sampled, Tensor(sampled.gather_inputs(dataset.features))).data
+    assert np.array_equal(ref_logits, got_logits), (
+        "fanout=-1 sampled logits diverged from the full-neighbourhood MFG pipeline"
+    )
+    print("parity: fanout=-1 sampling is bit-identical to the MFG pipeline")
+
+
+def _assert_determinism(dataset, sizes):
+    """Same seed => same batches, independent of prefetch threading."""
+    train_ids = _train_seed_ids(dataset, sizes)
+
+    def batches(num_workers):
+        sampler = NeighborSampler(dataset.graph, sizes["fanouts"], seed=123)
+        loader = MiniBatchDataLoader(
+            sampler,
+            train_ids,
+            batch_size=sizes["batch_size"],
+            num_workers=num_workers,
+        )
+        return list(loader.iter_epoch(1)) + list(loader.iter_epoch(1))
+
+    threaded, synchronous = batches(2), batches(0)
+    assert len(threaded) == len(synchronous)
+    for a, b in zip(threaded, synchronous):
+        assert np.array_equal(a.seeds, b.seeds)
+        for layer in range(len(sizes["fanouts"])):
+            blk_a, blk_b = a.pipeline.layer_block(layer), b.pipeline.layer_block(layer)
+            assert np.array_equal(blk_a.src, blk_b.src)
+            assert np.array_equal(blk_a.dst, blk_b.dst)
+            assert np.array_equal(blk_a.src_nodes, blk_b.src_nodes)
+    print("determinism: prefetch-threaded batches replay the synchronous ones exactly")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload + parity/determinism assertions (CI gate)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "JSON output path (default: BENCH_sampling.json next to this "
+            "script's repo root; smoke runs write no file unless set)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    dataset = ogbn_papers_mini(scale=sizes["scale"])
+    num_layers = len(sizes["fanouts"])
+
+    _assert_full_fanout_parity(dataset, sizes)
+    _assert_determinism(dataset, sizes)
+
+    results: dict = {}
+    models = {
+        "sage_mean": lambda: GraphSageNet(
+            dataset.feature_dim,
+            sizes["hidden"],
+            dataset.num_classes,
+            num_layers=num_layers,
+            dropout=0.0,
+            use_batch_norm=False,
+        ),
+        "gat": lambda: GATNet(
+            dataset.feature_dim,
+            sizes["hidden"] // sizes["heads"],
+            dataset.num_classes,
+            num_layers=num_layers,
+            num_heads=sizes["heads"],
+            dropout=0.0,
+            use_batch_norm=False,
+        ),
+    }
+    for name, factory in models.items():
+        bench_model(name, factory, dataset, sizes, results)
+
+    graph = dataset.graph
+    print(
+        f"graph: {graph.num_nodes} nodes / {graph.num_edges} edges, "
+        f"{sizes['num_train_seeds']} train seeds, fanouts={list(sizes['fanouts'])}, "
+        f"batch_size={sizes['batch_size']}"
+    )
+    header = f"{'model':<12} {'full_ms':>10} {'mfg_ms':>10} {'sampled_ms':>11} {'vs_full':>8}"
+    print(header)
+    for name, row in results.items():
+        print(
+            f"{name:<12} {row['full_epoch_ms']:>10.3f} {row['mfg_epoch_ms']:>10.3f} "
+            f"{row['sampled_epoch_ms']:>11.3f} {row['speedup_vs_full']:>7.2f}x"
+        )
+
+    report = {
+        "meta": {
+            "mode": "smoke" if args.smoke else "full",
+            "sizes": {k: list(v) if isinstance(v, tuple) else v for k, v in sizes.items()},
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "train_seeds": sizes["num_train_seeds"],
+            "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        },
+        "results": results,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = str(Path(__file__).resolve().parent.parent / "BENCH_sampling.json")
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

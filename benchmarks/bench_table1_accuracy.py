@@ -33,10 +33,11 @@ def _train(dataset, model_name: str):
         label_augmentation=True, correct_and_smooth=True,
     )
     if model_name == "GraphSage":
-        factory = lambda in_f: nn.GraphSageNet(in_f, 64, dataset.num_classes, dropout=0.3)
+        def factory(in_f):
+            return nn.GraphSageNet(in_f, 64, dataset.num_classes, dropout=0.3)
     else:
-        factory = lambda in_f: nn.GATNet(in_f, 16, dataset.num_classes, num_heads=4,
-                                         dropout=0.3)
+        def factory(in_f):
+            return nn.GATNet(in_f, 16, dataset.num_classes, num_heads=4, dropout=0.3)
     trainer = DistributedTrainer(dataset, factory, num_workers=NUM_WORKERS,
                                  sar_config=SARConfig("sar"), config=config,
                                  timeout_s=1200.0)

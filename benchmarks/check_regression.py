@@ -1,0 +1,104 @@
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+The nightly workflow reruns every benchmark in full mode and fails the build
+when any timing metric regresses by more than ``--threshold`` (default 2x)
+against the ``BENCH_*.json`` baselines committed in the repository root.
+Timing metrics are the numeric leaves whose key ends in ``_ms``; tiny
+absolute values (below ``--min-ms``) are skipped because scheduler noise
+dominates them on shared CI runners.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        --baseline BENCH_kernels.json --candidate fresh/kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+
+def collect_timings(node, prefix: str = "") -> Dict[str, float]:
+    """Flatten a report to ``path -> milliseconds`` for keys ending in _ms."""
+    out: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) and str(key).endswith("_ms"):
+                out[path] = float(value)
+            else:
+                out.update(collect_timings(value, path))
+    return out
+
+
+def compare(
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+    threshold: float,
+    min_ms: float,
+) -> Tuple[list, list]:
+    """Return ``(regressions, rows)``: failures and the full comparison table."""
+    regressions = []
+    rows = []
+    for path, base_ms in sorted(baseline.items()):
+        cand_ms = candidate.get(path)
+        if cand_ms is None:
+            rows.append((path, base_ms, None, None, "missing"))
+            regressions.append((path, base_ms, None, None))
+            continue
+        ratio = cand_ms / base_ms if base_ms > 0 else float("inf")
+        if max(base_ms, cand_ms) < min_ms:
+            rows.append((path, base_ms, cand_ms, ratio, "skipped (noise floor)"))
+            continue
+        status = "ok"
+        if ratio > threshold:
+            status = f"REGRESSION (> {threshold:.1f}x)"
+            regressions.append((path, base_ms, cand_ms, ratio))
+        rows.append((path, base_ms, cand_ms, ratio, status))
+    return regressions, rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json path")
+    parser.add_argument("--candidate", required=True, help="freshly generated JSON path")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when candidate/baseline exceeds this ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=5.0,
+        help="ignore metrics where both sides are below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = collect_timings(json.loads(Path(args.baseline).read_text()))
+    candidate = collect_timings(json.loads(Path(args.candidate).read_text()))
+    if not baseline:
+        print(f"error: no *_ms metrics found in {args.baseline}")
+        return 2
+
+    regressions, rows = compare(baseline, candidate, args.threshold, args.min_ms)
+    width = max(len(path) for path, *_ in rows)
+    print(f"{args.candidate} vs {args.baseline} (threshold {args.threshold:.1f}x)")
+    for path, base_ms, cand_ms, ratio, status in rows:
+        cand = f"{cand_ms:>10.3f}" if cand_ms is not None else " " * 10
+        rat = f"{ratio:>6.2f}x" if ratio is not None else " " * 7
+        print(f"  {path:<{width}} {base_ms:>10.3f} {cand} {rat}  {status}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond {args.threshold:.1f}x — failing")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

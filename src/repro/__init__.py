@@ -13,6 +13,8 @@ The package is organized as:
                               block kernels, distributed graph handles, rematerialized
                               backward passes, gradient synchronization
 * :mod:`repro.datasets`     — synthetic stand-ins for ogbn-products / papers100M / mag
+* :mod:`repro.sample`       — seeded neighbour sampling: mini-batch block chains,
+                              prefetching data loaders, cooperative distributed sampling
 * :mod:`repro.training`     — full-batch trainers, label augmentation, Correct & Smooth
 """
 
@@ -25,6 +27,7 @@ from repro import distributed
 from repro import nn
 from repro import core
 from repro import datasets
+from repro import sample
 from repro import training
 from repro import utils
 
@@ -37,6 +40,7 @@ __all__ = [
     "nn",
     "core",
     "datasets",
+    "sample",
     "training",
     "utils",
 ]

@@ -34,7 +34,12 @@ from repro.core.rgcn_dist import RGCNKernel
 from repro.core.sage_dist import make_neighbor_kernel
 from repro.core.seq_agg import SequentialAggregationEngine
 from repro.distributed.comm import Communicator
-from repro.partition.shard import ShardedGraph, ShardedHeteroGraph, restrict_block_to_dst
+from repro.partition.shard import (
+    EdgeBlock,
+    ShardedGraph,
+    ShardedHeteroGraph,
+    restrict_block_to_dst,
+)
 from repro.tensor.tensor import Tensor
 
 
@@ -123,22 +128,52 @@ class DistributedGraph(_DistributedGraphBase):
         super().begin_step()
         self._mfg_cursor = 0
 
+    def install_restricted_layers(self, layer_blocks: Sequence[List[EdgeBlock]],
+                                  name: str = "smp",
+                                  recompute_in_degrees: bool = False) -> None:
+        """Install per-conv-layer substitute block grids (collective call).
+
+        Generalization shared by the persistent MFG restriction
+        (:meth:`enable_mfg`) and per-batch sampled mini-batch training
+        (:mod:`repro.sample.distributed` installs a fresh grid every batch):
+        conv layer ``l``'s aggregation runs over ``layer_blocks[l]``, so halo
+        fetches (and the backward error exchange) shrink to the rows those
+        edges actually touch, while the local feature matrices keep their
+        full height and the replicated model code is untouched.  Every worker
+        must call this at the same point — each restricted layer sets up its
+        own :class:`~repro.core.halo.HaloExchange` routing exchange.
+        ``recompute_in_degrees`` must be set for *sampled* grids so mean
+        aggregation normalizes by the sampled (not the full-graph) degree.
+        """
+        layers: List[Tuple[ShardedGraph, HaloExchange]] = []
+        for layer, blocks in enumerate(layer_blocks):
+            halo = HaloExchange(self.comm, blocks, name=f"{name}{layer}-homo")
+            layers.append((
+                self.shard.with_blocks(list(blocks),
+                                       recompute_in_degrees=recompute_in_degrees),
+                halo,
+            ))
+        self._mfg_layers = layers
+        self._mfg_active = True
+        self._mfg_cursor = 0
+
+    def clear_restriction(self) -> None:
+        """Drop any installed restriction; aggregations run unrestricted again."""
+        self._mfg_layers = None
+        self._mfg_active = False
+        self._mfg_cursor = 0
+
     def enable_mfg(self, layer_masks: Sequence[np.ndarray]) -> None:
         """Install per-layer MFG-restricted block grids (collective call).
 
         ``layer_masks`` are the ``num_layers + 1`` global boolean masks from
         :func:`repro.graph.mfg.message_flow_masks` over the *unpartitioned*
         graph.  Conv layer ``l``'s aggregation then runs over blocks whose
-        edges all feed a destination required at level ``l + 1``: halo
-        fetches (and the backward error exchange) shrink to the rows those
-        edges actually touch, while the local feature matrices keep their
-        full height so the replicated model code is untouched.  Every worker
-        must call this at the same point — each restricted layer sets up its
-        own :class:`~repro.core.halo.HaloExchange` routing exchange.
+        edges all feed a destination required at level ``l + 1``.
         """
         if len(layer_masks) < 2:
             raise ValueError("layer_masks needs at least 2 entries (input and output level)")
-        layers: List[Tuple[ShardedGraph, HaloExchange]] = []
+        layer_blocks: List[List[EdgeBlock]] = []
         for layer in range(len(layer_masks) - 1):
             mask = np.asarray(layer_masks[layer + 1], dtype=bool)
             if mask.shape != (self.num_total_nodes,):
@@ -147,12 +182,8 @@ class DistributedGraph(_DistributedGraphBase):
                     f"global nodes, got shape {mask.shape}"
                 )
             dst_mask = mask[self.shard.global_node_ids]
-            blocks = [restrict_block_to_dst(b, dst_mask) for b in self.shard.blocks]
-            halo = HaloExchange(self.comm, blocks, name=f"mfg{layer}-homo")
-            layers.append((self.shard.with_blocks(blocks), halo))
-        self._mfg_layers = layers
-        self._mfg_active = True
-        self._mfg_cursor = 0
+            layer_blocks.append([restrict_block_to_dst(b, dst_mask) for b in self.shard.blocks])
+        self.install_restricted_layers(layer_blocks, name="mfg")
 
     @property
     def mfg_active(self) -> bool:

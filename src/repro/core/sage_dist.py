@@ -17,7 +17,7 @@ Two kernels over the shared :class:`~repro.core.seq_agg.SequentialAggregationEng
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -27,7 +27,6 @@ from repro.core.seq_agg import (
     BlockKernel,
     KernelPass,
     SequentialAggregationEngine,
-    block_order,
 )
 from repro.distributed.comm import Communicator
 from repro.partition.shard import EdgeBlock, ShardedGraph

@@ -18,10 +18,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.distributed.comm import CommStats, Communicator
+from repro.distributed.comm import CommStats
 from repro.distributed.thread_backend import (
     ClusterAborted,
-    SharedStore,
     create_thread_communicators,
 )
 from repro.tensor.memory import MemoryTracker, track_memory

@@ -210,12 +210,19 @@ class MFGBlock(_CompactBlockBase):
         )
 
     def plan(self) -> Optional[EdgePlan]:
-        """The block's lazily built edge plan (``None`` while plans are disabled)."""
+        """The block's lazily built edge plan (``None`` while plans are disabled).
+
+        Plans are resolved through the shared structural cache
+        (:func:`repro.tensor.edge_plan.cached_plan`): two blocks with the same
+        relabelled edge set — e.g. the same deterministic ``fanout=-1`` batch
+        re-sampled next epoch — share one plan instead of re-sorting.
+        """
         if not edge_plan_mod.plans_enabled():
             return None
         if self._plan is None:
-            self._plan = EdgePlan(self.src, self.dst,
-                                  self.num_dst_nodes, self.num_src_nodes)
+            self._plan = edge_plan_mod.cached_plan(
+                self.src, self.dst, self.num_dst_nodes, self.num_src_nodes
+            )
         return self._plan
 
     def in_degrees(self) -> np.ndarray:
@@ -263,7 +270,9 @@ class MFGHeteroBlock(_CompactBlockBase):
         plan = self._plans.get(relation)
         if plan is None:
             src, dst = self.relation_edges[relation]
-            plan = EdgePlan(src, dst, self.num_dst_nodes, self.num_src_nodes)
+            plan = edge_plan_mod.cached_plan(
+                src, dst, self.num_dst_nodes, self.num_src_nodes
+            )
             self._plans[relation] = plan
         return plan
 
@@ -286,7 +295,11 @@ class MFGPipeline:
     :attr:`output_nodes` (the seed set, in ascending id order).
     """
 
-    def __init__(self, blocks: List[_CompactBlockBase], masks: List[np.ndarray]):
+    def __init__(self, blocks: List[_CompactBlockBase],
+                 masks: Optional[List[np.ndarray]] = None):
+        #: per-layer global required-node masks; ``None`` when the pipeline was
+        #: built without materializing O(num_nodes) arrays (the sampler path —
+        #: the node lists on the blocks carry the same information compactly).
         self.blocks = blocks
         self.masks = masks
 
@@ -316,7 +329,12 @@ class MFGPipeline:
         return features[self.input_nodes]
 
     def required_node_counts(self) -> List[int]:
-        return [int(mask.sum()) for mask in self.masks]
+        if self.masks is not None:
+            return [int(mask.sum()) for mask in self.masks]
+        # Each block's src_nodes are the flatnonzero of the matching mask.
+        return [block.num_src_nodes for block in self.blocks] + [
+            self.blocks[-1].num_dst_nodes
+        ]
 
     def __repr__(self) -> str:
         return (

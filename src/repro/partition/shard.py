@@ -190,16 +190,27 @@ class ShardedGraph:
         self.local_in_degrees = np.asarray(local_in_degrees, dtype=np.int64)
         self.node_data: Dict[str, np.ndarray] = dict(node_data or {})
 
-    def with_blocks(self, blocks: List[EdgeBlock]) -> "ShardedGraph":
+    def with_blocks(self, blocks: List[EdgeBlock],
+                    recompute_in_degrees: bool = False) -> "ShardedGraph":
         """A shallow view of this shard executing over substitute edge blocks.
 
-        Node data, the partition book, and the local in-degrees are shared
-        with the original shard — only the block grid differs.  Used by the
-        per-layer MFG restriction.
+        Node data and the partition book are shared with the original shard —
+        only the block grid differs.  ``recompute_in_degrees`` re-derives the
+        per-node in-degrees from the substitute blocks: the MFG restriction
+        keeps every required destination's complete in-neighbourhood, so it
+        shares the original (global) degrees, while *sampled* block grids
+        must normalize mean aggregation by the sampled degree.
         """
         view = ShardedGraph.__new__(ShardedGraph)
         view.__dict__.update(self.__dict__)
         view.blocks = blocks
+        if recompute_in_degrees:
+            degrees = np.zeros(self.num_local_nodes, dtype=np.int64)
+            for block in blocks:
+                if block.num_edges:
+                    degrees += np.bincount(block.dst_local,
+                                           minlength=self.num_local_nodes)
+            view.local_in_degrees = degrees
         return view
 
     def __repr__(self) -> str:

@@ -1,0 +1,33 @@
+"""Mini-batch neighbour sampling: samplers, data loaders, distributed protocol."""
+
+from repro.sample.neighbor import (
+    InEdgeIndex,
+    NeighborSampler,
+    sample_in_edges,
+)
+from repro.sample.loader import (
+    MiniBatch,
+    MiniBatchDataLoader,
+    NeighborSamplingConfig,
+    epoch_seed_order,
+    num_batches_for,
+)
+from repro.sample.distributed import (
+    DistributedNeighborSampler,
+    DistributedSamplingPlan,
+    build_sampling_plan,
+)
+
+__all__ = [
+    "InEdgeIndex",
+    "NeighborSampler",
+    "sample_in_edges",
+    "MiniBatch",
+    "MiniBatchDataLoader",
+    "NeighborSamplingConfig",
+    "epoch_seed_order",
+    "num_batches_for",
+    "DistributedNeighborSampler",
+    "DistributedSamplingPlan",
+    "build_sampling_plan",
+]

@@ -1,0 +1,182 @@
+"""Cooperative distributed neighbour sampling over partitioned graphs.
+
+SAR workers train sampled mini-batches the same way they train full batches:
+every worker holds the model replica, the batch's seed set is global, and
+each worker executes its partition's share of the work.  Sampling splits
+along ownership exactly like aggregation does:
+
+* batches are sliced from the *global* shuffled seed order (every worker
+  derives the identical permutation from the shared sampler seed — no
+  coordinator, no broadcast);
+* at each layer, every worker samples in-edges **only for the required
+  destinations it owns** — the in-edges of a worker's own nodes are precisely
+  the local metadata its ``G_{p,q}`` blocks are built from, held here as an
+  :class:`~repro.sample.neighbor.InEdgeIndex` over local destination ids with
+  *global* edge/source ids;
+* the newly-required source nodes are merged with one ``allgather`` per
+  layer, giving every worker the next layer's global required set;
+* the sampled edges become per-layer :class:`~repro.partition.shard.EdgeBlock`
+  grids installed on the worker's
+  :class:`~repro.core.dist_graph.DistributedGraph`, so the existing halo
+  machinery fetches only the sampled sources — mini-batch halo exchanges
+  shrink with the fanout.
+
+Because per-edge / per-node draws are pure hashes of global ids under the
+``(seed, epoch, batch, layer)`` key (see :mod:`repro.sample.neighbor`), the
+union of the workers' samples is bit-identical to what a single machine
+samples for the same batch — the distributed run trains the same mini-batch
+sequence as the single-machine run with the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.graph.graph import Graph
+from repro.partition.book import PartitionBook
+from repro.partition.shard import EdgeBlock
+from repro.sample.loader import NeighborSamplingConfig, num_batches_for
+from repro.sample.neighbor import InEdgeIndex, _layer_key, sample_in_edges
+
+
+@dataclass
+class DistributedSamplingPlan:
+    """Everything a worker needs to sample its share of every batch.
+
+    Built once by the driver (:func:`build_sampling_plan`) and handed to all
+    workers; ``worker_indexes[p]`` holds the in-edges of partition ``p``'s
+    nodes (local destination ids, global edge and source ids).
+    """
+
+    fanouts: Sequence[int]
+    replace: bool
+    seed: int
+    batch_size: int
+    shuffle: bool
+    drop_last: bool
+    #: global ids of the seed universe batches are sliced from (ascending)
+    train_seed_ids: np.ndarray
+    #: global node id -> owning partition
+    assignment: np.ndarray
+    worker_indexes: List[InEdgeIndex]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanouts)
+
+    @property
+    def num_batches(self) -> int:
+        return num_batches_for(len(self.train_seed_ids), self.batch_size, self.drop_last)
+
+
+def build_sampling_plan(
+    graph: Graph,
+    book: PartitionBook,
+    config: NeighborSamplingConfig,
+    train_seed_ids: np.ndarray,
+    seed: int,
+) -> DistributedSamplingPlan:
+    """Derive the per-worker sampling metadata for a partitioned graph."""
+    fanouts = []
+    for spec in config.fanouts:
+        if not isinstance(spec, (int, np.integer)):
+            raise ValueError(
+                "distributed sampled training supports integer fanouts only "
+                f"(homogeneous graphs), got {spec!r}"
+            )
+        fanouts.append(int(spec))
+    assignment = book.assignment
+    dst_part = assignment[graph.dst]
+    worker_indexes = []
+    for rank in range(book.num_parts):
+        eids = np.flatnonzero(dst_part == rank)
+        _, dst_local = book.to_local(graph.dst[eids])
+        worker_indexes.append(
+            InEdgeIndex(graph.src[eids], dst_local, len(book.nodes_of(rank)), eids=eids)
+        )
+    return DistributedSamplingPlan(
+        fanouts=fanouts,
+        replace=config.replace,
+        seed=int(seed),
+        batch_size=config.batch_size,
+        shuffle=config.shuffle,
+        drop_last=config.drop_last,
+        train_seed_ids=np.asarray(train_seed_ids, dtype=np.int64),
+        assignment=assignment,
+        worker_indexes=worker_indexes,
+    )
+
+
+class DistributedNeighborSampler:
+    """One worker's view of the cooperative sampling protocol."""
+
+    def __init__(self, plan: DistributedSamplingPlan, book: PartitionBook, comm: Communicator):
+        self.plan = plan
+        self.book = book
+        self.comm = comm
+        self.rank = comm.rank
+        self.world_size = comm.world_size
+        self.index = plan.worker_indexes[self.rank]
+        self.num_local_nodes = len(book.nodes_of(self.rank))
+
+    def sample_blocks(
+        self,
+        batch_ids: np.ndarray,
+        epoch: int,
+        batch_index: int,
+    ) -> List[List[EdgeBlock]]:
+        """Sample one batch; returns this worker's per-layer block grids.
+
+        Collective: every worker must call it with the same global
+        ``batch_ids`` (one ``allgather`` per layer merges the frontier).
+        """
+        plan = self.plan
+        current = np.unique(np.asarray(batch_ids, dtype=np.int64))
+        layer_edges: List[Optional[tuple]] = [None] * plan.num_layers
+        for layer in range(plan.num_layers - 1, -1, -1):
+            key = _layer_key(plan.seed, epoch, batch_index, layer)
+            owned = plan.assignment[current] == self.rank
+            local_global = current[owned]
+            _, local_ids = self.book.to_local(local_global)
+            positions = sample_in_edges(
+                self.index,
+                local_ids,
+                plan.fanouts[layer],
+                plan.replace,
+                key,
+                key_ids=local_global,
+            )
+            src_global = self.index.src[positions]
+            dst_local = self.index.dst[positions]
+            layer_edges[layer] = (src_global, dst_local)
+            frontier = self.comm.allgather(np.unique(src_global), tag="sample")
+            current = np.union1d(current, np.concatenate(frontier))
+        return [self._build_blocks(src, dst) for src, dst in layer_edges]
+
+    def _build_blocks(self, src_global: np.ndarray, dst_local: np.ndarray) -> List[EdgeBlock]:
+        """Split this worker's sampled edges into the per-owner block grid.
+
+        Edges arrive (and stay) in ascending global edge-id order, so each
+        block's per-destination reduction order matches the single-machine
+        sampled pipeline's blocks.
+        """
+        src_part, src_local = self.book.to_local(src_global)
+        blocks = []
+        for q in range(self.world_size):
+            sel = src_part == q
+            required, src_index = np.unique(src_local[sel], return_inverse=True)
+            blocks.append(
+                EdgeBlock(
+                    src_rank=q,
+                    dst_rank=self.rank,
+                    num_dst=self.num_local_nodes,
+                    required_src_local=required.astype(np.int64),
+                    src_index=src_index.astype(np.int64),
+                    dst_local=dst_local[sel],
+                )
+            )
+        return blocks

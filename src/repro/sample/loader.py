@@ -1,0 +1,198 @@
+"""Mini-batch data loader: shuffled seed batches with bounded background sampling.
+
+The loader owns the epoch structure of sampled training: a deterministic
+per-epoch shuffle of the seed nodes, fixed-size batches, and a background
+thread pool that samples ahead of the consumer under the same bounded-
+prefetch discipline as the sequential-aggregation engine
+(:mod:`repro.core.seq_agg`): at most :attr:`MiniBatchDataLoader.max_resident`
+sampled batches are materialized at any moment (default 2 — the batch being
+consumed plus one prefetching in flight), so sampling overlaps training
+without letting materialized block chains pile up.
+
+Determinism is inherited from the sampler (see
+:mod:`repro.sample.neighbor`): every batch's content depends only on
+``(sampler seed, epoch, batch index)``, so prefetching threads, re-iterating
+an epoch, or changing ``num_workers`` never changes what is sampled.  The
+epoch shuffle uses the same counter-based derivation
+(:func:`repro.utils.seed.derive_rng`), which is how the distributed workers
+reproduce the exact global batch sequence without communicating.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.mfg import MFGPipeline
+from repro.sample.neighbor import NeighborSampler
+from repro.utils.seed import derive_rng
+from repro.utils.validation import check_1d_int_array, check_positive_int
+
+#: salt distinguishing the shuffle stream from the per-layer sampling streams.
+_SHUFFLE_SALT = 0x5EED5_0F_5A17
+
+
+def epoch_seed_order(seed: int, seeds: np.ndarray, epoch: int, shuffle: bool) -> np.ndarray:
+    """The deterministic order seeds are batched in for ``epoch``.
+
+    Shared by :class:`MiniBatchDataLoader` and the distributed workers so a
+    single-machine run and a cooperative distributed run slice identical
+    batches from identical permutations.
+    """
+    if not shuffle:
+        return seeds
+    rng = derive_rng(seed, _SHUFFLE_SALT, epoch)
+    return seeds[rng.permutation(len(seeds))]
+
+
+def num_batches_for(num_seeds: int, batch_size: int, drop_last: bool) -> int:
+    """Number of batches an epoch over ``num_seeds`` seeds produces."""
+    if drop_last:
+        return num_seeds // batch_size
+    return (num_seeds + batch_size - 1) // batch_size
+
+
+@dataclass
+class NeighborSamplingConfig:
+    """Declarative sampled-training setup consumed by the trainers.
+
+    ``fanouts`` must have one entry per conv layer of the model (input →
+    output order).  ``seed=None`` falls back to the training config's seed so
+    one seed pins the whole run.
+    """
+
+    fanouts: Sequence[Any] = (10, 10)
+    batch_size: int = 128
+    replace: bool = False
+    shuffle: bool = True
+    drop_last: bool = False
+    #: background sampling threads (0 = sample synchronously on the consumer)
+    num_workers: int = 1
+    #: bound on sampled-but-unconsumed batches (the prefetch window)
+    max_resident_batches: int = 2
+    seed: Optional[int] = None
+
+
+@dataclass
+class MiniBatch:
+    """One sampled mini-batch: the block chain plus its bookkeeping ids."""
+
+    epoch: int
+    index: int
+    #: seed node ids, deduplicated ascending — identical to ``pipeline.output_nodes``
+    seeds: np.ndarray
+    pipeline: MFGPipeline
+
+    @property
+    def input_nodes(self) -> np.ndarray:
+        """Global ids whose input features the batch's layer 0 consumes."""
+        return self.pipeline.input_nodes
+
+    def gather_inputs(self, features: np.ndarray) -> np.ndarray:
+        return self.pipeline.gather_inputs(features)
+
+
+@dataclass
+class MiniBatchDataLoader:
+    """Iterate sampled mini-batches over a seed-node set.
+
+    Parameters
+    ----------
+    sampler:
+        The :class:`~repro.sample.neighbor.NeighborSampler` batches are drawn
+        from (its seed also keys the epoch shuffle).
+    seeds:
+        Seed node ids batches are formed over (typically the training nodes).
+    batch_size:
+        Seeds per batch (the final short batch is kept unless ``drop_last``).
+    shuffle:
+        Reshuffle the seed order every epoch (deterministically per epoch).
+    num_workers:
+        Background sampling threads; ``0`` samples on the consuming thread.
+    max_resident:
+        Bound on simultaneously materialized batches (the one being consumed
+        and in-flight prefetches included).
+    """
+
+    sampler: NeighborSampler
+    seeds: np.ndarray
+    batch_size: int = 128
+    shuffle: bool = True
+    drop_last: bool = False
+    num_workers: int = 1
+    max_resident: int = 2
+    #: high-water mark of simultaneously resident sampled batches (telemetry)
+    peak_resident_batches: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.seeds = check_1d_int_array(self.seeds, "seeds", max_value=self.sampler.num_nodes)
+        if self.seeds.size == 0:
+            raise ValueError("MiniBatchDataLoader needs at least one seed node")
+        self.batch_size = check_positive_int(self.batch_size, "batch_size")
+        if self.max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {self.max_resident}")
+        if len(self) == 0:
+            raise ValueError(
+                f"drop_last with batch_size={self.batch_size} leaves no batches "
+                f"for {len(self.seeds)} seeds"
+            )
+        self._auto_epoch = 0
+
+    def __len__(self) -> int:
+        return num_batches_for(len(self.seeds), self.batch_size, self.drop_last)
+
+    def batch_seed_ids(self, epoch: int, index: int) -> np.ndarray:
+        """Seed ids of batch ``index`` of ``epoch`` (pre-deduplication order)."""
+        order = epoch_seed_order(self.sampler.seed, self.seeds, epoch, self.shuffle)
+        return order[index * self.batch_size : (index + 1) * self.batch_size]
+
+    def _make_batch(self, order: np.ndarray, epoch: int, index: int) -> MiniBatch:
+        ids = order[index * self.batch_size : (index + 1) * self.batch_size]
+        pipeline = self.sampler.sample(ids, epoch=epoch, batch_index=index)
+        return MiniBatch(epoch=epoch, index=index, seeds=pipeline.output_nodes, pipeline=pipeline)
+
+    def iter_epoch(self, epoch: int) -> Iterator[MiniBatch]:
+        """Yield the epoch's batches in order, sampling ahead on the pool.
+
+        Re-iterating the same ``epoch`` yields identical batches.
+        """
+        order = epoch_seed_order(self.sampler.seed, self.seeds, epoch, self.shuffle)
+        num_batches = len(self)
+        if self.num_workers <= 0:
+            for index in range(num_batches):
+                yield self._make_batch(order, epoch, index)
+            return
+
+        executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="sample-prefetch"
+        )
+        try:
+            # ``held`` is the batch the consumer is working on: it counts
+            # against the residency bound until the consumer asks for the
+            # next one, so at most ``max_resident`` sampled batches are ever
+            # materialized at once (held + pending, in-flight included).
+            pending: deque = deque()
+            next_index = 0
+            held = 0
+            while next_index < num_batches or pending:
+                while next_index < num_batches and held + len(pending) < self.max_resident:
+                    pending.append(executor.submit(self._make_batch, order, epoch, next_index))
+                    next_index += 1
+                    self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))
+                batch = pending.popleft().result()
+                held = 1
+                self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))
+                yield batch
+                held = 0
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        """Iterate one epoch, auto-advancing the epoch counter per pass."""
+        epoch = self._auto_epoch
+        self._auto_epoch += 1
+        return self.iter_epoch(epoch)

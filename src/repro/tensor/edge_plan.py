@@ -51,7 +51,9 @@ and plans, so this never happens in practice.
 
 from __future__ import annotations
 
+import hashlib
 import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -113,7 +115,16 @@ class _Orientation:
                  num_rows: int, num_cols: int):
         self.num_rows = int(num_rows)
         self.num_cols = int(num_cols)
-        order = np.lexsort((cols, rows))
+        # Sort by (row, col) with ties in input order.  A single stable
+        # argsort over the composite key `row * num_cols + col` produces the
+        # identical permutation to `np.lexsort((cols, rows))` at about half
+        # the cost; the lexsort remains as the (never hit in practice)
+        # overflow fallback.
+        if self.num_rows * self.num_cols < (1 << 62):
+            composite = rows * np.int64(max(self.num_cols, 1)) + cols
+            order = np.argsort(composite, kind="stable")
+        else:
+            order = np.lexsort((cols, rows))
         self.order = order
         self.indices = cols[order]
         indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
@@ -364,3 +375,86 @@ class EdgePlan:
         out = np.empty_like(alpha_sorted)
         out[o.order] = alpha_sorted
         return out
+
+
+# --------------------------------------------------------------------------- #
+# structural plan cache (plan reuse across mini-batches)
+# --------------------------------------------------------------------------- #
+class PlanCache:
+    """LRU cache of :class:`EdgePlan` objects keyed by edge-set *structure*.
+
+    Mini-batch training builds a fresh block chain per batch, and every block
+    would pay its own lexsorts even when its edge set is structurally
+    identical to one seen before — which happens systematically for
+    deterministic samples (``fanout=-1``), repeated batch compositions
+    (``shuffle=False``), and evaluation loops.  Hashing the ``(src, dst,
+    num_dst, num_src)`` tuple (a linear pass) is far cheaper than the sorts a
+    plan performs, so identical structures share one plan.
+
+    The cache must only be consulted for plans used *sequentially* on one
+    thread: plans reuse an internal weighted-template buffer and are not safe
+    under concurrent kernel calls.  Block chains satisfy this — batches are
+    consumed one at a time — while worker-owned shard blocks keep building
+    their plans directly.
+    """
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[bytes, EdgePlan]" = OrderedDict()
+
+    @staticmethod
+    def _digest(src: np.ndarray, dst: np.ndarray, num_dst: int, num_src: int) -> bytes:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.int64(num_dst).tobytes())
+        h.update(np.int64(num_src).tobytes())
+        h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+        return h.digest()
+
+    def get(self, src, dst, num_dst: int, num_src: int) -> EdgePlan:
+        """Return a cached plan for the edge set, building one on a miss."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        key = self._digest(src, dst, num_dst, num_src)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan
+            self.misses += 1
+        # Build outside the lock (plan construction does the expensive sorts);
+        # a racing duplicate build is harmless and the second insert wins.
+        plan = EdgePlan(src, dst, num_dst, num_src)
+        with self._lock:
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: process-wide cache used by the compacted block chains (MFG / sampled).
+_shared_cache = PlanCache()
+
+
+def shared_plan_cache() -> PlanCache:
+    """The process-wide structural plan cache."""
+    return _shared_cache
+
+
+def cached_plan(src, dst, num_dst: int, num_src: int) -> EdgePlan:
+    """Fetch (or build) a plan for the edge set through the shared cache."""
+    return _shared_cache.get(src, dst, num_dst, num_src)

@@ -8,8 +8,6 @@ functions used by GraphSage, GAT and R-GCN.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.tensor.tensor import Function, Tensor

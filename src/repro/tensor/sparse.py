@@ -21,7 +21,7 @@ autograd graph and rematerializes it manually in the backward pass.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -24,7 +24,6 @@ Stages (per the original paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 

@@ -44,6 +44,17 @@ from repro.nn.module import Module
 from repro.partition.book import PartitionBook
 from repro.partition.partitioner import partition_graph
 from repro.partition.shard import create_hetero_shards, create_shards
+from repro.sample.distributed import (
+    DistributedNeighborSampler,
+    DistributedSamplingPlan,
+    build_sampling_plan,
+)
+from repro.sample.loader import (
+    MiniBatchDataLoader,
+    NeighborSamplingConfig,
+    epoch_seed_order,
+)
+from repro.sample.neighbor import NeighborSampler
 from repro.tensor import functional as F
 from repro.tensor import no_grad
 from repro.tensor.optim import Adam, CosineDecay, LRScheduler, StepDecay
@@ -92,6 +103,20 @@ class TrainingConfig:
     #: over whichever rows a layer produces, so restricted and full training
     #: only match exactly for models without batch norm.
     mfg_seeds: Optional[Sequence[int]] = None
+    #: Mini-batch neighbour-sampled training
+    #: (:class:`~repro.sample.loader.NeighborSamplingConfig`).  When set, each
+    #: epoch shuffles the training seeds, samples per-layer neighbourhoods per
+    #: batch, and takes one optimizer step per batch; evaluation still scores
+    #: the full graph.  Mutually exclusive with :attr:`mfg_seeds`.  The
+    #: sampler seed defaults to :attr:`seed`, so single-machine and
+    #: distributed runs with the same config train the same batch sequence.
+    sampler: Optional[NeighborSamplingConfig] = None
+
+    def resolved_sampler_seed(self) -> int:
+        """The seed the neighbour sampler actually draws under."""
+        if self.sampler is not None and self.sampler.seed is not None:
+            return int(self.sampler.seed)
+        return int(self.seed)
 
     def build_scheduler(self, optimizer) -> Optional[LRScheduler]:
         if self.lr_schedule == "cosine":
@@ -170,6 +195,23 @@ def _make_augmenter(config: TrainingConfig, num_classes: int):
     return NoLabelAugmenter(num_classes)
 
 
+def _sampled_num_layers(config: TrainingConfig, model_num_layers: Optional[int]) -> int:
+    """Validate the sampler config against the model's conv-layer count."""
+    assert config.sampler is not None
+    if config.mfg_seeds is not None:
+        raise ValueError("sampler and mfg_seeds are mutually exclusive")
+    if model_num_layers is None:
+        raise ValueError(
+            "sampler requires a model exposing num_layers (one fanout per conv layer)"
+        )
+    if len(config.sampler.fanouts) != model_num_layers:
+        raise ValueError(
+            f"sampler.fanouts names {len(config.sampler.fanouts)} layers but the "
+            f"model has {model_num_layers} conv layers"
+        )
+    return model_num_layers
+
+
 def _local_loss(logits: Tensor, labels: np.ndarray, predict_mask: np.ndarray) -> Tensor:
     """Summed cross-entropy over the masked rows.
 
@@ -206,6 +248,20 @@ class FullBatchTrainer:
                               weight_decay=self.config.weight_decay)
         self.scheduler = self.config.build_scheduler(self.optimizer)
         self._rng = np.random.default_rng(self.config.seed)
+        self.sample_loader: Optional[MiniBatchDataLoader] = None
+        if self.config.sampler is not None:
+            scfg = self.config.sampler
+            _sampled_num_layers(self.config, getattr(model, "num_layers", None))
+            sampler = NeighborSampler(
+                self.graph, scfg.fanouts, replace=scfg.replace,
+                seed=self.config.resolved_sampler_seed(),
+            )
+            self.sample_loader = MiniBatchDataLoader(
+                sampler, dataset.train_indices(), batch_size=scfg.batch_size,
+                shuffle=scfg.shuffle, drop_last=scfg.drop_last,
+                num_workers=scfg.num_workers,
+                max_resident=scfg.max_resident_batches,
+            )
         self.mfg_pipeline = None
         if self.config.mfg_seeds is not None:
             num_layers = getattr(model, "num_layers", None)
@@ -233,29 +289,28 @@ class FullBatchTrainer:
             features, predict_mask = self.augmenter.training_batch(
                 dataset.features, dataset.labels, dataset.train_mask, self._rng
             )
-            if self.mfg_pipeline is not None:
-                # Restricted epoch: only the receptive field of the seed set is
-                # computed; the logits rows are exactly the (sorted) seeds.
-                out_nodes = self.mfg_pipeline.output_nodes
-                logits = self.model(self.mfg_pipeline,
-                                    Tensor(self.mfg_pipeline.gather_inputs(features)))
-                labels = dataset.labels[out_nodes]
-                predict_mask = np.asarray(predict_mask)[out_nodes]
+            if self.sample_loader is not None:
+                mean_loss = self._sampled_epoch(features, predict_mask, epoch)
             else:
-                logits = self.model(self.graph, Tensor(features))
-                labels = dataset.labels
-            loss = _local_loss(logits, labels, predict_mask)
-            count = max(int(np.asarray(predict_mask).sum()), 1)
-            self.model.zero_grad()
-            loss.backward()
-            for param in self.model.parameters():
-                if param.grad is not None:
-                    param.grad /= count
-            self.optimizer.step()
+                if self.mfg_pipeline is not None:
+                    # Restricted epoch: only the receptive field of the seed set
+                    # is computed; the logits rows are exactly the (sorted) seeds.
+                    out_nodes = self.mfg_pipeline.output_nodes
+                    logits = self.model(self.mfg_pipeline,
+                                        Tensor(self.mfg_pipeline.gather_inputs(features)))
+                    labels = dataset.labels[out_nodes]
+                    predict_mask = np.asarray(predict_mask)[out_nodes]
+                else:
+                    logits = self.model(self.graph, Tensor(features))
+                    labels = dataset.labels
+                loss = _local_loss(logits, labels, predict_mask)
+                count = max(int(np.asarray(predict_mask).sum()), 1)
+                self._optimize_step(loss, count)
+                mean_loss = float(loss.data) / count
             lr = self.scheduler.step() if self.scheduler else self.optimizer.lr
             elapsed = timer.stop()
 
-            record = EpochRecord(epoch=epoch, loss=float(loss.data) / count, lr=lr,
+            record = EpochRecord(epoch=epoch, loss=mean_loss, lr=lr,
                                  train_time_s=elapsed)
             if config.eval_every and (epoch % config.eval_every == 0 or epoch == config.num_epochs):
                 accs, _ = self.evaluate()
@@ -278,6 +333,33 @@ class FullBatchTrainer:
             }
         return TrainingResult(records=records, final_accuracies=final_accs,
                               cs_accuracies=cs_accs)
+
+    # ------------------------------------------------------------------ #
+    def _optimize_step(self, loss: Tensor, count: int) -> None:
+        """Backward + mean-scaled gradients + one optimizer step."""
+        self.model.zero_grad()
+        loss.backward()
+        for param in self.model.parameters():
+            if param.grad is not None:
+                param.grad /= count
+        self.optimizer.step()
+
+    def _sampled_epoch(self, features: np.ndarray, predict_mask: np.ndarray,
+                       epoch: int) -> float:
+        """One neighbour-sampled epoch: a step per mini-batch; returns mean loss."""
+        dataset = self.dataset
+        predict_mask = np.asarray(predict_mask, dtype=bool)
+        total_loss = 0.0
+        total_count = 0
+        for batch in self.sample_loader.iter_epoch(epoch):
+            logits = self.model(batch.pipeline, Tensor(batch.gather_inputs(features)))
+            mask = predict_mask[batch.seeds]
+            loss = _local_loss(logits, dataset.labels[batch.seeds], mask)
+            count = int(mask.sum())
+            self._optimize_step(loss, max(count, 1))
+            total_loss += float(loss.data)
+            total_count += count
+        return total_loss / max(total_count, 1)
 
     # ------------------------------------------------------------------ #
     def evaluate(self) -> tuple[Dict[str, float], np.ndarray]:
@@ -327,11 +409,53 @@ def _distributed_evaluate(dist_graph, model: Module, augmenter, features: np.nda
     return report, logits.data
 
 
+def _distributed_sampled_epoch(dist_graph, sampler: DistributedNeighborSampler,
+                               plan: DistributedSamplingPlan, model: Module,
+                               optimizer, augmented: np.ndarray,
+                               labels: np.ndarray, predict_mask: np.ndarray,
+                               epoch: int, comm: Communicator) -> float:
+    """One cooperative sampled epoch on one worker; returns the global mean loss.
+
+    Every batch is a collective: all workers derive the identical global
+    batch (same shuffle stream), sample their owned share of each layer,
+    install the sampled per-layer block grids (shrunken halo exchanges), and
+    take one gradient-synchronized optimizer step.
+    """
+    order = epoch_seed_order(plan.seed, plan.train_seed_ids, epoch, plan.shuffle)
+    predict_mask = np.asarray(predict_mask, dtype=bool)
+    batch_mask = np.zeros(dist_graph.num_total_nodes, dtype=bool)
+    total_loss = 0.0
+    total_count = 0
+    for index in range(plan.num_batches):
+        batch_ids = order[index * plan.batch_size:(index + 1) * plan.batch_size]
+        dist_graph.begin_step()
+        blocks = sampler.sample_blocks(batch_ids, epoch, index)
+        dist_graph.install_restricted_layers(blocks, name="smp",
+                                             recompute_in_degrees=True)
+        batch_mask[:] = False
+        batch_mask[batch_ids] = True
+        mask = predict_mask & batch_mask[dist_graph.global_node_ids]
+        logits = model(dist_graph, Tensor(augmented))
+        loss = _local_loss(logits, labels, mask)
+        local_count = int(mask.sum())
+        model.zero_grad()
+        loss.backward()
+        global_count = comm.allreduce_scalar(float(local_count))
+        sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
+        optimizer.step()
+        total_loss += float(loss.data)
+        total_count += local_count
+    dist_graph.clear_restriction()
+    totals = comm.allreduce(np.asarray([total_loss, float(total_count)], dtype=np.float64))
+    return float(totals[0]) / max(float(totals[1]), 1.0)
+
+
 def distributed_train_worker(rank: int, comm: Communicator, shard, *,
                              model_factory: ModelFactory, feature_dim: int,
                              num_classes: int, config: TrainingConfig,
                              sar_config: SARConfig,
-                             mfg_masks: Optional[Sequence[np.ndarray]] = None
+                             mfg_masks: Optional[Sequence[np.ndarray]] = None,
+                             sampling: Optional[DistributedSamplingPlan] = None
                              ) -> Dict[str, Any]:
     """Per-worker training loop (executed by the simulated cluster).
 
@@ -340,12 +464,25 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
     training epochs run with per-layer restricted blocks (smaller halo
     fetches), evaluation temporarily lifts the restriction so every row's
     logits exist.
+
+    ``sampling`` (from ``config.sampler``) switches the worker to cooperative
+    neighbour-sampled mini-batch training: per batch, the workers sample
+    their owned share of the per-layer neighbourhoods, install the sampled
+    block grids, and step the optimizer once — the halo exchange each batch
+    covers only sampled sources.  Evaluation always runs unrestricted.
     """
     dist_graph = _build_distributed_graph(shard, comm, sar_config)
     if mfg_masks is not None:
         if not isinstance(dist_graph, DistributedGraph):
             raise ValueError("MFG-restricted training supports homogeneous graphs only")
         dist_graph.enable_mfg(mfg_masks)
+    sampler: Optional[DistributedNeighborSampler] = None
+    if sampling is not None:
+        if mfg_masks is not None:
+            raise ValueError("sampler and mfg_seeds are mutually exclusive")
+        if not isinstance(dist_graph, DistributedGraph):
+            raise ValueError("sampled distributed training supports homogeneous graphs only")
+        sampler = DistributedNeighborSampler(sampling, shard.book, comm)
     augmenter = _make_augmenter(config, num_classes)
     model = model_factory(augmenter.augmented_dim(feature_dim))
     if hasattr(model, "set_comm"):
@@ -371,25 +508,31 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
 
     for epoch in range(1, config.num_epochs + 1):
         timer = WorkerTimer().start()
-        dist_graph.begin_step()
         model.train()
         augmented, predict_mask = augmenter.training_batch(
             features, labels, masks["train"], rng
         )
-        if seed_mask_local is not None:
-            predict_mask = np.asarray(predict_mask, dtype=bool) & seed_mask_local
-        logits = model(dist_graph, Tensor(augmented))
-        loss = _local_loss(logits, labels, predict_mask)
-        local_count = int(np.asarray(predict_mask).sum())
-        model.zero_grad()
-        loss.backward()
-        global_count = comm.allreduce_scalar(float(local_count))
-        sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
-        optimizer.step()
+        if sampler is not None:
+            mean_loss = _distributed_sampled_epoch(
+                dist_graph, sampler, sampling, model, optimizer, augmented,
+                labels, predict_mask, epoch, comm,
+            )
+        else:
+            dist_graph.begin_step()
+            if seed_mask_local is not None:
+                predict_mask = np.asarray(predict_mask, dtype=bool) & seed_mask_local
+            logits = model(dist_graph, Tensor(augmented))
+            loss = _local_loss(logits, labels, predict_mask)
+            local_count = int(np.asarray(predict_mask).sum())
+            model.zero_grad()
+            loss.backward()
+            global_count = comm.allreduce_scalar(float(local_count))
+            sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
+            optimizer.step()
+            mean_loss = distributed_mean_loss(float(loss.data), local_count, comm)
         lr = scheduler.step() if scheduler else optimizer.lr
         elapsed = timer.stop()
 
-        mean_loss = distributed_mean_loss(float(loss.data), local_count, comm)
         record = EpochRecord(epoch=epoch, loss=mean_loss, lr=lr, train_time_s=elapsed)
         if config.eval_every and (epoch % config.eval_every == 0 or epoch == config.num_epochs):
             accs, _ = _distributed_evaluate(dist_graph, model, augmenter, features,
@@ -455,17 +598,37 @@ class DistributedTrainer:
         if isinstance(self.dataset, HeteroNodeClassificationDataset) and \
                 self.dataset.hetero_graph is not None:
             raise ValueError("MFG-restricted training supports homogeneous graphs only")
-        # The probe exists only to read num_layers; isolate its parameter
-        # draws so enabling MFG does not shift the workers' initial weights.
-        with temp_seed(0):
-            probe = self.model_factory(self.dataset.feature_dim)
-        num_layers = getattr(probe, "num_layers", None)
+        num_layers = self._probe_num_layers()
         if num_layers is None:
             raise ValueError(
                 "mfg_seeds requires a model exposing num_layers (one restricted "
                 "block grid is built per conv layer)"
             )
         return message_flow_masks(self.dataset.graph, self.config.mfg_seeds, num_layers)
+
+    def _probe_num_layers(self) -> Optional[int]:
+        """Read ``num_layers`` off a throwaway model replica.
+
+        The probe exists only to read the attribute; its parameter draws are
+        isolated so enabling MFG or sampling does not shift the workers'
+        initial weights.
+        """
+        with temp_seed(0):
+            probe = self.model_factory(self.dataset.feature_dim)
+        return getattr(probe, "num_layers", None)
+
+    def _sampling_plan(self) -> Optional[DistributedSamplingPlan]:
+        """Per-worker sampling metadata when neighbour-sampled training is on."""
+        if self.config.sampler is None:
+            return None
+        if isinstance(self.dataset, HeteroNodeClassificationDataset) and \
+                self.dataset.hetero_graph is not None:
+            raise ValueError("sampled distributed training supports homogeneous graphs only")
+        _sampled_num_layers(self.config, self._probe_num_layers())
+        return build_sampling_plan(
+            self.dataset.graph, self.book, self.config.sampler,
+            self.dataset.train_indices(), self.config.resolved_sampler_seed(),
+        )
 
     def run(self) -> DistributedTrainingResult:
         cluster = SimulatedCluster(self.num_workers, timeout_s=self.timeout_s)
@@ -478,6 +641,7 @@ class DistributedTrainer:
             config=self.config,
             sar_config=self.sar_config,
             mfg_masks=self._mfg_masks(),
+            sampling=self._sampling_plan(),
         )
         rank0 = result.results[0]
         training = TrainingResult(

@@ -1,6 +1,14 @@
 """Shared utilities: seeding, logging, validation, and timing helpers."""
 
-from repro.utils.seed import set_seed, get_rng, temp_seed
+from repro.utils.seed import (
+    set_seed,
+    get_rng,
+    temp_seed,
+    splitmix64,
+    mix_seed,
+    hash_u64,
+    derive_rng,
+)
 from repro.utils.logging import get_logger
 from repro.utils.timing import Timer, WorkerTimer
 from repro.utils.validation import (
@@ -14,6 +22,10 @@ __all__ = [
     "set_seed",
     "get_rng",
     "temp_seed",
+    "splitmix64",
+    "mix_seed",
+    "hash_u64",
+    "derive_rng",
     "get_logger",
     "Timer",
     "WorkerTimer",

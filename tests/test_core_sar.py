@@ -18,7 +18,6 @@ from repro.core import (
 )
 from repro.datasets import make_hetero_sbm_dataset
 from repro.distributed import run_distributed
-from repro.graph import HeteroGraph
 from repro.partition import (
     PartitionBook,
     create_hetero_shards,
@@ -26,7 +25,6 @@ from repro.partition import (
     partition_graph,
 )
 from repro.tensor import Tensor
-from repro.tensor import functional as F
 from repro.tensor.sparse import edge_softmax_np
 from repro.utils.seed import set_seed
 

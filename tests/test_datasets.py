@@ -116,3 +116,70 @@ class TestOgbLikeDatasets:
         ds = ogbn_mag_mini(scale=0.3)
         counts = [ds.hetero_graph.num_edges_of(r) for r in ds.hetero_graph.relation_names]
         assert len(set(counts)) > 1
+
+
+class TestOgbLikeSplitHandling:
+    """Split-handling guarantees the trainers and the sampler rely on."""
+
+    @pytest.mark.parametrize("maker,fractions", [
+        (ogbn_products_mini, (0.4, 0.2, 0.4)),
+        (ogbn_papers_mini, (0.10, 0.10, 0.20)),
+        (ogbn_mag_mini, (0.4, 0.2, 0.4)),
+    ])
+    def test_split_fractions_and_disjointness(self, maker, fractions):
+        ds = maker(scale=0.25)
+        masks = (ds.train_mask, ds.val_mask, ds.test_mask)
+        for mask, fraction in zip(masks, fractions):
+            assert mask.dtype == np.bool_
+            assert mask.shape == (ds.num_nodes,)
+            assert abs(int(mask.sum()) - round(fraction * ds.num_nodes)) <= 1
+        assert not np.any(ds.train_mask & ds.val_mask)
+        assert not np.any(ds.train_mask & ds.test_mask)
+        assert not np.any(ds.val_mask & ds.test_mask)
+
+    def test_split_indices_sorted_and_consistent_with_masks(self):
+        ds = ogbn_papers_mini(scale=0.25)
+        for indices, mask in [
+            (ds.train_indices(), ds.train_mask),
+            (ds.val_indices(), ds.val_mask),
+            (ds.test_indices(), ds.test_mask),
+        ]:
+            assert np.all(np.diff(indices) > 0)
+            np.testing.assert_array_equal(np.flatnonzero(mask), indices)
+
+    def test_same_seed_reproduces_splits_and_scale_preserves_fractions(self):
+        a = ogbn_papers_mini(scale=0.25, seed=5)
+        b = ogbn_papers_mini(scale=0.25, seed=5)
+        np.testing.assert_array_equal(a.train_mask, b.train_mask)
+        np.testing.assert_array_equal(a.val_mask, b.val_mask)
+        np.testing.assert_array_equal(a.test_mask, b.test_mask)
+        c = ogbn_papers_mini(scale=0.25, seed=6)
+        assert not np.array_equal(a.train_mask, c.train_mask)
+        small, large = ogbn_papers_mini(scale=0.25), ogbn_papers_mini(scale=0.5)
+        assert abs(small.train_mask.mean() - large.train_mask.mean()) < 0.02
+
+    def test_masks_are_attached_to_graph_ndata(self):
+        ds = ogbn_products_mini(scale=0.2)
+        for key in ("train_mask", "val_mask", "test_mask", "feat", "label"):
+            assert key in ds.graph.ndata
+        np.testing.assert_array_equal(ds.graph.ndata["train_mask"], ds.train_mask)
+        hetero = ogbn_mag_mini(scale=0.2)
+        for key in ("train_mask", "val_mask", "test_mask"):
+            assert key in hetero.hetero_graph.ndata
+
+    def test_registry_forwards_scale_and_seed(self):
+        via_registry = get_dataset("ogbn-papers-mini", scale=0.25, seed=9)
+        direct = ogbn_papers_mini(scale=0.25, seed=9)
+        assert via_registry.num_nodes == direct.num_nodes
+        np.testing.assert_array_equal(via_registry.train_mask, direct.train_mask)
+
+    def test_hetero_split_masks_cover_shared_node_space(self):
+        ds = make_hetero_sbm_dataset(
+            name="h", num_nodes=120, num_classes=4, feature_dim=8,
+            relation_specs={"a": {"p_in": 0.2, "p_out": 0.02},
+                            "b": {"p_in": 0.05, "p_out": 0.01}},
+            train_frac=0.5, val_frac=0.2, test_frac=0.3, seed=2,
+        )
+        assert ds.hetero_graph.num_nodes == ds.graph.num_nodes == len(ds.train_mask)
+        covered = ds.train_mask | ds.val_mask | ds.test_mask
+        assert covered.sum() == ds.num_nodes

@@ -16,9 +16,7 @@ from repro.core import SARConfig
 from repro.core.dist_graph import DistributedGraph
 from repro.distributed.cluster import run_distributed
 from repro.graph import (
-    Graph,
     HeteroGraph,
-    MFGBlock,
     build_hetero_mfg_pipeline,
     build_mfg_pipeline,
     hetero_message_flow_masks,
@@ -128,8 +126,9 @@ class TestSingleMachineParity:
     def test_sage_bit_identical_logits_and_matching_grads(self, mfg_setup, aggregator):
         graph, features, labels, seeds = mfg_setup
         pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
-        factory = lambda: GraphSageNet(12, 16, 4, dropout=0.0, use_batch_norm=False,
-                                       aggregator=aggregator)
+        def factory():
+            return GraphSageNet(12, 16, 4, dropout=0.0, use_batch_norm=False,
+                                aggregator=aggregator)
         full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline, features, labels)
         np.testing.assert_array_equal(full, mfg)
         assert max(grad_diffs) < 1e-4
@@ -138,8 +137,9 @@ class TestSingleMachineParity:
     def test_gat_bit_identical_logits_and_matching_grads(self, mfg_setup, fused):
         graph, features, labels, seeds = mfg_setup
         pipeline = build_mfg_pipeline(graph, seeds, num_layers=3)
-        factory = lambda: GATNet(12, 8, 4, num_heads=2, dropout=0.0,
-                                 use_batch_norm=False, fused=fused)
+        def factory():
+            return GATNet(12, 8, 4, num_heads=2, dropout=0.0,
+                          use_batch_norm=False, fused=fused)
         full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline, features, labels)
         np.testing.assert_array_equal(full, mfg)
         assert max(grad_diffs) < 1e-4
@@ -148,8 +148,9 @@ class TestSingleMachineParity:
         graph, features, labels, seeds = mfg_setup
         with plans_disabled():
             pipeline = build_mfg_pipeline(graph, seeds, num_layers=2)
-            factory = lambda: GraphSageNet(12, 16, 4, num_layers=2, dropout=0.0,
-                                           use_batch_norm=False)
+            def factory():
+                return GraphSageNet(12, 16, 4, num_layers=2, dropout=0.0,
+                                    use_batch_norm=False)
             full, mfg, grad_diffs = _full_vs_mfg(factory, graph, pipeline,
                                                  features, labels)
         np.testing.assert_allclose(full, mfg, rtol=1e-5, atol=1e-6)
@@ -168,8 +169,9 @@ class TestSingleMachineParity:
         pipeline = build_hetero_mfg_pipeline(hgraph, seeds, num_layers=2)
         np.testing.assert_array_equal(pipeline.output_nodes, seeds)
 
-        factory = lambda: RGCNNet(10, 12, 3, hgraph.relation_names, num_layers=2,
-                                  dropout=0.0, use_batch_norm=False)
+        def factory():
+            return RGCNNet(10, 12, 3, hgraph.relation_names, num_layers=2,
+                           dropout=0.0, use_batch_norm=False)
         full, mfg, grad_diffs = _full_vs_mfg(factory, hgraph, pipeline,
                                              features, labels)
         np.testing.assert_array_equal(full, mfg)

@@ -1,0 +1,448 @@
+"""Tests for the mini-batch neighbour-sampling subsystem (repro.sample).
+
+The two load-bearing contracts:
+
+* ``fanout=-1`` sampling reproduces the full-neighbourhood MFG pipeline
+  **bit-identically** (node orderings, edge order, logits);
+* sampling is counter-based deterministic — batches depend only on
+  ``(seed, epoch, batch, layer)``, never on threads, iteration order, or how
+  the nodes are split across callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    HeteroGraph,
+    build_hetero_mfg_pipeline,
+    build_mfg_pipeline,
+)
+from repro.nn.models import GATNet, GraphSageNet, RGCNNet
+from repro.sample import (
+    InEdgeIndex,
+    MiniBatchDataLoader,
+    NeighborSampler,
+    NeighborSamplingConfig,
+    sample_in_edges,
+)
+from repro.tensor import Tensor
+from repro.tensor import edge_plan as edge_plan_mod
+from repro.training.trainer import FullBatchTrainer, TrainingConfig
+from repro.utils.seed import mix_seed, set_seed
+
+
+@pytest.fixture
+def star_with_isolated() -> Graph:
+    """Nodes 1..4 feed node 0; node 5 is isolated; node 6 has one in-edge."""
+    src = np.array([1, 2, 3, 4, 2])
+    dst = np.array([0, 0, 0, 0, 6])
+    return Graph(7, src, dst)
+
+
+# --------------------------------------------------------------------------- #
+# sample_in_edges
+# --------------------------------------------------------------------------- #
+class TestSampleInEdges:
+    def test_fanout_minus_one_takes_full_neighbourhood(self, star_with_isolated):
+        index = InEdgeIndex.from_graph(star_with_isolated)
+        sel = sample_in_edges(index, np.array([0, 5, 6]), -1, False, key=7)
+        np.testing.assert_array_equal(np.sort(index.eids[sel]), [0, 1, 2, 3, 4])
+
+    def test_fanout_zero_and_isolated_nodes_sample_nothing(self, star_with_isolated):
+        index = InEdgeIndex.from_graph(star_with_isolated)
+        assert sample_in_edges(index, np.array([0]), 0, False, key=7).size == 0
+        assert sample_in_edges(index, np.array([5]), 3, False, key=7).size == 0
+        assert sample_in_edges(index, np.array([5]), 3, True, key=7).size == 0
+
+    def test_fanout_larger_than_degree_without_replacement(self, star_with_isolated):
+        index = InEdgeIndex.from_graph(star_with_isolated)
+        sel = sample_in_edges(index, np.array([0, 6]), 100, False, key=7)
+        np.testing.assert_array_equal(np.sort(index.eids[sel]), [0, 1, 2, 3, 4])
+
+    def test_without_replacement_caps_and_dedupes(self, sbm_graph):
+        index = InEdgeIndex.from_graph(sbm_graph)
+        nodes = np.arange(sbm_graph.num_nodes)
+        degrees = index.degrees(nodes)
+        sel = sample_in_edges(index, nodes, 3, False, key=11)
+        eids = index.eids[sel]
+        assert len(np.unique(eids)) == len(eids)
+        per_dst = np.bincount(index.dst[sel], minlength=sbm_graph.num_nodes)
+        np.testing.assert_array_equal(per_dst, np.minimum(degrees, 3))
+
+    def test_with_replacement_draws_exactly_fanout(self, sbm_graph):
+        index = InEdgeIndex.from_graph(sbm_graph)
+        nodes = np.arange(sbm_graph.num_nodes)
+        sel = sample_in_edges(index, nodes, 5, True, key=11)
+        per_dst = np.bincount(index.dst[sel], minlength=sbm_graph.num_nodes)
+        nonzero = index.degrees(nodes) > 0
+        np.testing.assert_array_equal(per_dst[nonzero], 5)
+        # Draws come from each node's own candidate list.
+        assert np.all(index.dst[sel] == sbm_graph.dst[index.eids[sel]])
+
+    def test_returns_ascending_edge_ids_per_key(self, sbm_graph):
+        index = InEdgeIndex.from_graph(sbm_graph)
+        sel = sample_in_edges(index, np.arange(60), 4, False, key=3)
+        assert np.all(np.diff(index.eids[sel]) >= 0)
+
+    @pytest.mark.parametrize("replace", [False, True])
+    def test_split_invariance(self, sbm_graph, replace):
+        """Sampling node subsets separately equals sampling them together.
+
+        This is the property the cooperative distributed sampler stands on:
+        any partition of the destinations over workers draws the same edges.
+        """
+        index = InEdgeIndex.from_graph(sbm_graph)
+        nodes = np.arange(sbm_graph.num_nodes)
+        together = sample_in_edges(index, nodes, 4, replace, key=99)
+        split = np.concatenate([
+            sample_in_edges(index, nodes[::2], 4, replace, key=99),
+            sample_in_edges(index, nodes[1::2], 4, replace, key=99),
+        ])
+        np.testing.assert_array_equal(
+            np.sort(index.eids[together]), np.sort(index.eids[split])
+        )
+
+    def test_keys_decorrelate(self, sbm_graph):
+        index = InEdgeIndex.from_graph(sbm_graph)
+        nodes = np.arange(sbm_graph.num_nodes)
+        a = sample_in_edges(index, nodes, 3, False, key=mix_seed(0, 1))
+        b = sample_in_edges(index, nodes, 3, False, key=mix_seed(0, 2))
+        assert not np.array_equal(index.eids[a], index.eids[b])
+
+
+# --------------------------------------------------------------------------- #
+# NeighborSampler — homogeneous
+# --------------------------------------------------------------------------- #
+class TestNeighborSampler:
+    def test_full_fanout_matches_mfg_pipeline_bitwise(self, sbm_graph, rng):
+        seeds = np.sort(rng.choice(sbm_graph.num_nodes, 12, replace=False))
+        mfg = build_mfg_pipeline(sbm_graph, seeds, 2)
+        sampled = NeighborSampler(sbm_graph, [-1, -1], seed=5).sample(seeds, 3, 4)
+        for layer in range(2):
+            ref, got = mfg.layer_block(layer), sampled.layer_block(layer)
+            np.testing.assert_array_equal(ref.src_nodes, got.src_nodes)
+            np.testing.assert_array_equal(ref.dst_nodes, got.dst_nodes)
+            np.testing.assert_array_equal(ref.src, got.src)
+            np.testing.assert_array_equal(ref.dst, got.dst)
+            np.testing.assert_array_equal(ref.dst_in_src, got.dst_in_src)
+
+    @pytest.mark.parametrize("model_cls", ["sage", "gat"])
+    def test_full_fanout_logits_bit_identical(self, sbm_graph, rng, model_cls):
+        seeds = np.sort(rng.choice(sbm_graph.num_nodes, 10, replace=False))
+        features = rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32)
+        mfg = build_mfg_pipeline(sbm_graph, seeds, 2)
+        sampled = NeighborSampler(sbm_graph, [-1, -1], seed=0).sample(seeds)
+        set_seed(0)
+        if model_cls == "sage":
+            model = GraphSageNet(8, 8, 3, num_layers=2, dropout=0.0, use_batch_norm=False)
+        else:
+            model = GATNet(8, 4, 3, num_layers=2, num_heads=2, dropout=0.0,
+                           use_batch_norm=False)
+        ref = model(mfg, Tensor(mfg.gather_inputs(features))).data
+        got = model(sampled, Tensor(sampled.gather_inputs(features))).data
+        np.testing.assert_array_equal(ref, got)
+
+    def test_sampled_pipeline_runs_and_respects_fanout(self, sbm_graph, rng):
+        seeds = np.sort(rng.choice(sbm_graph.num_nodes, 20, replace=False))
+        pipeline = NeighborSampler(sbm_graph, [3, 2], seed=1).sample(seeds)
+        np.testing.assert_array_equal(pipeline.output_nodes, seeds)
+        for layer, fanout in enumerate([3, 2]):
+            block = pipeline.layer_block(layer)
+            degrees = np.bincount(block.dst, minlength=block.num_dst_nodes)
+            assert degrees.max() <= fanout
+        features = rng.standard_normal((sbm_graph.num_nodes, 8)).astype(np.float32)
+        model = GraphSageNet(8, 8, 3, num_layers=2, dropout=0.0, use_batch_norm=False)
+        logits = model(pipeline, Tensor(pipeline.gather_inputs(features)))
+        assert logits.shape == (len(seeds), 3)
+
+    def test_sampled_mean_normalizes_by_sampled_degree(self, star_with_isolated):
+        graph = star_with_isolated
+        features = np.zeros((7, 1), dtype=np.float32)
+        features[1:5, 0] = [10.0, 20.0, 30.0, 40.0]
+        pipeline = NeighborSampler(graph, [2], seed=3).sample([0])
+        block = pipeline.layer_block(0)
+        assert block.num_edges == 2
+        plan = block.plan()
+        out = plan.aggregate_mean(pipeline.gather_inputs(features))
+        sampled_sources = block.src_nodes[block.src]
+        expected = features[sampled_sources, 0].mean()
+        np.testing.assert_allclose(out[0, 0], expected)
+
+    def test_isolated_seed_gets_zero_aggregation(self, star_with_isolated):
+        pipeline = NeighborSampler(star_with_isolated, [2, 2], seed=0).sample([5])
+        features = np.ones((7, 4), dtype=np.float32)
+        model = GraphSageNet(4, 4, 2, num_layers=2, dropout=0.0, use_batch_norm=False)
+        logits = model(pipeline, Tensor(pipeline.gather_inputs(features)))
+        assert logits.shape == (1, 2)
+        assert np.all(np.isfinite(logits.data))
+
+    def test_same_epoch_batch_reproduces_and_others_differ(self, sbm_graph, rng):
+        seeds = np.sort(rng.choice(sbm_graph.num_nodes, 30, replace=False))
+        sampler = NeighborSampler(sbm_graph, [3, 3], seed=7)
+        a = sampler.sample(seeds, epoch=2, batch_index=1)
+        b = sampler.sample(seeds, epoch=2, batch_index=1)
+        c = sampler.sample(seeds, epoch=3, batch_index=1)
+        for layer in range(2):
+            np.testing.assert_array_equal(a.layer_block(layer).src,
+                                          b.layer_block(layer).src)
+        assert any(
+            not np.array_equal(a.layer_block(layer).src_nodes,
+                               c.layer_block(layer).src_nodes)
+            or not np.array_equal(a.layer_block(layer).src, c.layer_block(layer).src)
+            for layer in range(2)
+        )
+
+    def test_seed_defaults_to_global_stream(self, sbm_graph):
+        set_seed(42)
+        a = NeighborSampler(sbm_graph, [3], seed=None)
+        set_seed(42)
+        b = NeighborSampler(sbm_graph, [3], seed=None)
+        assert a.seed == b.seed
+
+    def test_validation_errors(self, sbm_graph):
+        with pytest.raises(ValueError, match="fanouts"):
+            NeighborSampler(sbm_graph, [])
+        with pytest.raises(ValueError, match="fanout"):
+            NeighborSampler(sbm_graph, [-2])
+        with pytest.raises(ValueError, match="HeteroGraph"):
+            NeighborSampler(sbm_graph, [{"rel": 3}])
+        sampler = NeighborSampler(sbm_graph, [3])
+        with pytest.raises(ValueError, match="at least one"):
+            sampler.sample(np.array([], dtype=np.int64))
+
+
+# --------------------------------------------------------------------------- #
+# NeighborSampler — heterogeneous
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def hetero_graph(rng) -> HeteroGraph:
+    num_nodes = 40
+    relations = {
+        "dense": (rng.integers(0, num_nodes, 160), rng.integers(0, num_nodes, 160)),
+        "sparse": (rng.integers(0, num_nodes, 30), rng.integers(0, num_nodes, 30)),
+        "empty": (np.array([], dtype=np.int64), np.array([], dtype=np.int64)),
+    }
+    return HeteroGraph(num_nodes, relations)
+
+
+class TestHeteroSampling:
+    def test_full_fanout_matches_hetero_mfg_pipeline(self, hetero_graph, rng):
+        seeds = np.sort(rng.choice(hetero_graph.num_nodes, 6, replace=False))
+        mfg = build_hetero_mfg_pipeline(hetero_graph, seeds, 2)
+        sampled = NeighborSampler(hetero_graph, [-1, -1], seed=0).sample(seeds)
+        for layer in range(2):
+            ref, got = mfg.layer_block(layer), sampled.layer_block(layer)
+            np.testing.assert_array_equal(ref.src_nodes, got.src_nodes)
+            np.testing.assert_array_equal(ref.dst_nodes, got.dst_nodes)
+            assert ref.relation_names == got.relation_names
+            for name in ref.relation_names:
+                np.testing.assert_array_equal(ref.relation_edges[name][0],
+                                              got.relation_edges[name][0])
+                np.testing.assert_array_equal(ref.relation_edges[name][1],
+                                              got.relation_edges[name][1])
+
+    def test_per_relation_fanouts_and_empty_relation(self, hetero_graph, rng):
+        seeds = np.sort(rng.choice(hetero_graph.num_nodes, 8, replace=False))
+        fanouts = [{"dense": 2, "sparse": -1, "empty": 3}, 1]
+        pipeline = NeighborSampler(hetero_graph, fanouts, seed=4).sample(seeds)
+        block = pipeline.layer_block(0)
+        dense_dst = block.relation_edges["dense"][1]
+        degrees = np.bincount(dense_dst, minlength=block.num_dst_nodes)
+        assert degrees.max() <= 2
+        assert block.relation_edges["empty"][0].size == 0
+        features = rng.standard_normal((hetero_graph.num_nodes, 6)).astype(np.float32)
+        model = RGCNNet(6, 8, 3, hetero_graph.relation_names, num_layers=2,
+                        dropout=0.0, use_batch_norm=False)
+        logits = model(pipeline, Tensor(pipeline.gather_inputs(features)))
+        assert logits.shape == (len(seeds), 3)
+
+    def test_unknown_relation_rejected(self, hetero_graph):
+        with pytest.raises(KeyError, match="Unknown relations"):
+            NeighborSampler(hetero_graph, [{"nope": 2}])
+
+    def test_partial_fanout_mapping_rejected(self, hetero_graph):
+        """Omitting a relation must be explicit (0), never a silent skip."""
+        with pytest.raises(ValueError, match="missing"):
+            NeighborSampler(hetero_graph, [{"dense": 2}])
+
+
+# --------------------------------------------------------------------------- #
+# MiniBatchDataLoader
+# --------------------------------------------------------------------------- #
+class TestMiniBatchDataLoader:
+    def _loader(self, graph, seeds, **kwargs):
+        sampler = NeighborSampler(graph, [3, 3], seed=kwargs.pop("seed", 9))
+        return MiniBatchDataLoader(sampler, seeds, **kwargs)
+
+    def test_batch_count_and_drop_last(self, sbm_graph):
+        seeds = np.arange(50)
+        assert len(self._loader(sbm_graph, seeds, batch_size=20)) == 3
+        assert len(self._loader(sbm_graph, seeds, batch_size=20, drop_last=True)) == 2
+        with pytest.raises(ValueError, match="drop_last"):
+            self._loader(sbm_graph, np.arange(5), batch_size=10, drop_last=True)
+
+    def test_epoch_covers_every_seed_exactly_once(self, sbm_graph):
+        seeds = np.arange(45)
+        loader = self._loader(sbm_graph, seeds, batch_size=20)
+        seen = np.concatenate(
+            [loader.batch_seed_ids(1, index) for index in range(len(loader))]
+        )
+        np.testing.assert_array_equal(np.sort(seen), seeds)
+
+    def test_shuffle_determinism_and_epoch_variation(self, sbm_graph):
+        seeds = np.arange(40)
+        loader_a = self._loader(sbm_graph, seeds, batch_size=16)
+        loader_b = self._loader(sbm_graph, seeds, batch_size=16)
+        np.testing.assert_array_equal(loader_a.batch_seed_ids(5, 0),
+                                      loader_b.batch_seed_ids(5, 0))
+        assert not np.array_equal(loader_a.batch_seed_ids(5, 0),
+                                  loader_a.batch_seed_ids(6, 0))
+        unshuffled = self._loader(sbm_graph, seeds, batch_size=16, shuffle=False)
+        np.testing.assert_array_equal(unshuffled.batch_seed_ids(5, 0), seeds[:16])
+
+    @pytest.mark.parametrize("num_workers", [0, 1, 2])
+    def test_prefetch_identical_to_synchronous(self, sbm_graph, num_workers):
+        seeds = np.arange(60)
+        reference = list(
+            self._loader(sbm_graph, seeds, batch_size=16, num_workers=0).iter_epoch(2)
+        )
+        got = list(
+            self._loader(
+                sbm_graph, seeds, batch_size=16, num_workers=num_workers
+            ).iter_epoch(2)
+        )
+        assert len(reference) == len(got) == 4
+        for ref, batch in zip(reference, got):
+            np.testing.assert_array_equal(ref.seeds, batch.seeds)
+            for layer in range(2):
+                np.testing.assert_array_equal(ref.pipeline.layer_block(layer).src,
+                                              batch.pipeline.layer_block(layer).src)
+
+    def test_resident_batches_bounded(self, sbm_graph):
+        loader = self._loader(sbm_graph, np.arange(60), batch_size=6, num_workers=2)
+        for _ in loader.iter_epoch(1):
+            pass
+        assert 1 <= loader.peak_resident_batches <= 2
+
+    def test_worker_errors_propagate(self, sbm_graph, monkeypatch):
+        loader = self._loader(sbm_graph, np.arange(30), batch_size=10, num_workers=2)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("sampler exploded")
+
+        monkeypatch.setattr(loader.sampler, "sample", boom)
+        with pytest.raises(RuntimeError, match="sampler exploded"):
+            list(loader.iter_epoch(1))
+
+    def test_auto_epoch_iteration_advances(self, sbm_graph):
+        loader = self._loader(sbm_graph, np.arange(32), batch_size=16)
+        first = [batch.seeds for batch in loader]
+        second = [batch.seeds for batch in loader]
+        assert not all(np.array_equal(a, b) for a, b in zip(first, second))
+
+
+# --------------------------------------------------------------------------- #
+# plan reuse across batches
+# --------------------------------------------------------------------------- #
+class TestPlanReuse:
+    def test_deterministic_batches_reuse_plans_across_epochs(self, sbm_graph):
+        sampler = NeighborSampler(sbm_graph, [-1, -1], seed=0)
+        loader = MiniBatchDataLoader(sampler, np.arange(40), batch_size=20,
+                                     shuffle=False, num_workers=0)
+
+        def run_epoch(epoch):
+            for batch in loader.iter_epoch(epoch):
+                for layer in range(2):
+                    block = batch.pipeline.layer_block(layer)
+                    plan = block.plan()
+                    plan.aggregate_sum(np.ones((block.num_src_nodes, 2), np.float32))
+                    plan.aggregate_sum_t(np.ones((block.num_dst_nodes, 2), np.float32))
+
+        run_epoch(1)
+        edge_plan_mod.reset_build_counter()
+        run_epoch(2)
+        run_epoch(3)
+        assert edge_plan_mod.build_counter == 0
+
+    def test_plan_cache_lru_eviction(self):
+        cache = edge_plan_mod.PlanCache(capacity=2)
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        a = cache.get(src, dst, 2, 2)
+        assert cache.get(src, dst, 2, 2) is a
+        cache.get(src, dst, 3, 2)
+        cache.get(src, dst, 4, 2)
+        assert len(cache) == 2
+        assert cache.get(src, dst, 2, 2) is not a  # evicted and rebuilt
+        assert cache.hits == 1 and cache.misses == 4
+
+
+# --------------------------------------------------------------------------- #
+# trainer integration
+# --------------------------------------------------------------------------- #
+class TestTrainerIntegration:
+    def test_sampler_and_mfg_seeds_are_exclusive(self, small_dataset):
+        model = GraphSageNet(small_dataset.feature_dim, 8, small_dataset.num_classes,
+                             num_layers=2, dropout=0.0, use_batch_norm=False)
+        config = TrainingConfig(
+            sampler=NeighborSamplingConfig(fanouts=(3, 3)),
+            mfg_seeds=small_dataset.train_indices(),
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            FullBatchTrainer(model, small_dataset, config)
+
+    def test_fanouts_must_match_model_layers(self, small_dataset):
+        model = GraphSageNet(small_dataset.feature_dim, 8, small_dataset.num_classes,
+                             num_layers=3, dropout=0.0, use_batch_norm=False)
+        config = TrainingConfig(sampler=NeighborSamplingConfig(fanouts=(3, 3)))
+        with pytest.raises(ValueError, match="conv layers"):
+            FullBatchTrainer(model, small_dataset, config)
+
+    @pytest.mark.slow
+    def test_sampled_training_learns(self, small_dataset):
+        set_seed(0)
+        model = GraphSageNet(small_dataset.feature_dim, 16, small_dataset.num_classes,
+                             num_layers=2, dropout=0.0, use_batch_norm=False)
+        config = TrainingConfig(
+            num_epochs=8, lr=0.05, seed=0,
+            sampler=NeighborSamplingConfig(fanouts=(5, 5), batch_size=40),
+        )
+        result = FullBatchTrainer(model, small_dataset, config).train()
+        assert len(result.records) == 8
+        assert result.losses()[-1] < result.losses()[0]
+        # Evaluation runs over the full graph and reports every split.
+        assert set(result.final_accuracies) == {"train", "val", "test"}
+        assert result.final_accuracies["test"] > 0.5
+
+    @pytest.mark.slow
+    def test_full_fanout_sampled_single_batch_matches_full_batch(self, small_dataset):
+        """One batch covering every train seed at fanout=-1 == MFG-restricted
+        training over the train seeds (same loss trajectory)."""
+        seeds = small_dataset.train_indices()
+        common = dict(num_epochs=3, lr=0.05, seed=0, eval_every=0)
+        model_kwargs = dict(num_layers=2, dropout=0.0, use_batch_norm=False)
+
+        set_seed(0)
+        baseline = FullBatchTrainer(
+            GraphSageNet(small_dataset.feature_dim, 16, small_dataset.num_classes,
+                         **model_kwargs),
+            small_dataset, TrainingConfig(mfg_seeds=seeds, **common),
+        ).train()
+
+        set_seed(0)
+        sampled = FullBatchTrainer(
+            GraphSageNet(small_dataset.feature_dim, 16, small_dataset.num_classes,
+                         **model_kwargs),
+            small_dataset,
+            TrainingConfig(
+                sampler=NeighborSamplingConfig(
+                    fanouts=(-1, -1), batch_size=len(seeds), shuffle=False
+                ),
+                **common,
+            ),
+        ).train()
+        np.testing.assert_allclose(sampled.losses(), baseline.losses(),
+                                   rtol=1e-5, atol=1e-7)

@@ -1,0 +1,196 @@
+"""Distributed neighbour-sampled training: cooperative protocol + parity.
+
+The contract under test: a 2-worker distributed sampled run trains the same
+mini-batch sequence as the single-machine sampled run with the same seed —
+identical sampled edge multisets per batch, matching loss trajectories, and
+shrunken per-batch halo exchanges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import GATNet, GraphSageNet
+from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.sample import (
+    NeighborSampler,
+    NeighborSamplingConfig,
+    build_sampling_plan,
+    epoch_seed_order,
+)
+from repro.sample.distributed import DistributedNeighborSampler
+from repro.distributed.cluster import run_distributed
+from repro.training.trainer import DistributedTrainer, FullBatchTrainer, TrainingConfig
+from repro.utils.seed import set_seed
+
+
+def _make_model(feature_dim, num_classes, kind="sage"):
+    if kind == "sage":
+        return GraphSageNet(feature_dim, 16, num_classes, num_layers=2,
+                            dropout=0.0, use_batch_norm=False)
+    return GATNet(feature_dim, 8, num_classes, num_layers=2, num_heads=2,
+                  dropout=0.0, use_batch_norm=False)
+
+
+def _fixed_weights(feature_dim, num_classes, kind):
+    set_seed(0)
+    template = _make_model(feature_dim, num_classes, kind)
+    return [p.data.copy() for p in template.parameters()]
+
+
+def _with_weights(model, weights):
+    for param, value in zip(model.parameters(), weights):
+        param.data[...] = value
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# protocol-level structural parity
+# --------------------------------------------------------------------------- #
+def _sample_worker(rank, comm, shard, *, plan, batch_ids, epoch, batch_index):
+    sampler = DistributedNeighborSampler(plan, shard.book, comm)
+    blocks = sampler.sample_blocks(np.asarray(batch_ids), epoch, batch_index)
+    out = []
+    for layer_blocks in blocks:
+        src_global = []
+        dst_global = []
+        for block in layer_blocks:
+            src_global.append(
+                shard.book.to_global(block.src_rank,
+                                     block.required_src_local[block.src_index])
+            )
+            dst_global.append(shard.book.to_global(rank, block.dst_local))
+        out.append((np.concatenate(src_global), np.concatenate(dst_global)))
+    return out
+
+
+@pytest.mark.parametrize("world_size", [2, 3])
+@pytest.mark.parametrize("replace", [False, True])
+def test_distributed_sample_matches_single_machine(sbm_graph, rng, world_size, replace):
+    """Union of the workers' sampled edges == the single-machine sample."""
+    graph = sbm_graph
+    book = PartitionBook(partition_graph(graph, world_size, seed=0), world_size)
+    shards = create_shards(graph, book)
+    config = NeighborSamplingConfig(fanouts=(3, 4), replace=replace, batch_size=24)
+    train_ids = np.sort(rng.choice(graph.num_nodes, 24, replace=False))
+    plan = build_sampling_plan(graph, book, config, train_ids, seed=77)
+
+    result = run_distributed(_sample_worker, world_size, worker_args=shards,
+                             plan=plan, batch_ids=train_ids, epoch=1, batch_index=0)
+
+    reference = NeighborSampler(graph, (3, 4), replace=replace, seed=77)
+    pipeline = reference.sample(train_ids, epoch=1, batch_index=0)
+    for layer in range(2):
+        block = pipeline.layer_block(layer)
+        ref = np.stack([block.src_nodes[block.src], block.dst_nodes[block.dst]])
+        ref = ref[:, np.lexsort(ref)]
+        merged_src = np.concatenate([r[layer][0] for r in result.results])
+        merged_dst = np.concatenate([r[layer][1] for r in result.results])
+        got = np.stack([merged_src, merged_dst])
+        got = got[:, np.lexsort(got)]
+        np.testing.assert_array_equal(ref, got)
+
+
+def test_epoch_seed_order_identical_everywhere():
+    seeds = np.arange(100, 150)
+    a = epoch_seed_order(9, seeds, epoch=4, shuffle=True)
+    b = epoch_seed_order(9, seeds, epoch=4, shuffle=True)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, epoch_seed_order(9, seeds, epoch=5, shuffle=True))
+    np.testing.assert_array_equal(epoch_seed_order(9, seeds, 4, False), seeds)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end trainer parity
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+@pytest.mark.parametrize("kind", ["sage", "gat"])
+def test_two_worker_sampled_run_matches_single_machine(small_dataset, kind):
+    weights = _fixed_weights(small_dataset.feature_dim, small_dataset.num_classes, kind)
+    sampling = NeighborSamplingConfig(fanouts=(4, 4), batch_size=48)
+    common = dict(num_epochs=3, lr=0.05, eval_every=0, seed=0)
+
+    single = FullBatchTrainer(
+        _with_weights(
+            _make_model(small_dataset.feature_dim, small_dataset.num_classes, kind),
+            weights,
+        ),
+        small_dataset,
+        TrainingConfig(sampler=sampling, **common),
+    ).train()
+
+    dist = DistributedTrainer(
+        small_dataset,
+        lambda dim: _with_weights(
+            _make_model(dim, small_dataset.num_classes, kind), weights
+        ),
+        num_workers=2,
+        config=TrainingConfig(sampler=sampling, **common),
+    ).run()
+
+    np.testing.assert_allclose(dist.training.losses(), single.losses(),
+                               rtol=1e-4, atol=1e-6)
+    for split in ("train", "val", "test"):
+        assert abs(
+            dist.training.final_accuracies[split] - single.final_accuracies[split]
+        ) <= 0.05
+
+
+@pytest.mark.slow
+def test_sampled_halo_traffic_shrinks_vs_full_batch(small_dataset):
+    weights = _fixed_weights(small_dataset.feature_dim, small_dataset.num_classes, "sage")
+    common = dict(num_epochs=2, lr=0.05, eval_every=0, seed=0)
+
+    def factory(dim):
+        return _with_weights(
+            _make_model(dim, small_dataset.num_classes, "sage"), weights
+        )
+
+    sampled = DistributedTrainer(
+        small_dataset, factory, num_workers=2,
+        config=TrainingConfig(
+            sampler=NeighborSamplingConfig(fanouts=(3, 3), batch_size=60), **common
+        ),
+    ).run()
+    full = DistributedTrainer(
+        small_dataset, factory, num_workers=2, config=TrainingConfig(**common),
+    ).run()
+
+    halo = "forward_halo"
+    assert sampled.cluster.total_received_by_tag()[halo] < \
+        full.cluster.total_received_by_tag()[halo]
+    assert np.isfinite(sampled.training.final_test_accuracy)
+
+
+@pytest.mark.slow
+def test_three_worker_sampled_run_completes(small_dataset):
+    config = TrainingConfig(
+        num_epochs=2, lr=0.05, eval_every=2, seed=0,
+        sampler=NeighborSamplingConfig(fanouts=(3, 3), batch_size=32),
+    )
+    result = DistributedTrainer(
+        small_dataset,
+        lambda dim: _make_model(dim, small_dataset.num_classes, "sage"),
+        num_workers=3,
+        config=config,
+    ).run()
+    assert len(result.training.records) == 2
+    assert np.isfinite(result.training.final_test_accuracy)
+
+
+def test_hetero_distributed_sampling_rejected():
+    from repro.datasets import make_hetero_sbm_dataset
+
+    dataset = make_hetero_sbm_dataset(
+        name="h", num_nodes=60, num_classes=3, feature_dim=6,
+        relation_specs={"a": {"p_in": 0.2, "p_out": 0.02}}, seed=0,
+    )
+    trainer_config = TrainingConfig(sampler=NeighborSamplingConfig(fanouts=(2, 2)))
+    with pytest.raises(ValueError, match="homogeneous"):
+        DistributedTrainer(
+            dataset,
+            lambda dim: _make_model(dim, dataset.num_classes, "sage"),
+            num_workers=2,
+            config=trainer_config,
+        ).run()
