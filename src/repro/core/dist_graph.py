@@ -134,16 +134,40 @@ class DistributedGraph(_DistributedGraphBase):
         """Install per-conv-layer substitute block grids (collective call).
 
         Generalization shared by the persistent MFG restriction
-        (:meth:`enable_mfg`) and per-batch sampled mini-batch training
-        (:mod:`repro.sample.distributed` installs a fresh grid every batch):
-        conv layer ``l``'s aggregation runs over ``layer_blocks[l]``, so halo
+        (:meth:`enable_mfg`), per-batch sampled mini-batch training
+        (:mod:`repro.sample.distributed` installs a fresh grid every batch),
+        and per-batch layer-wise inference
+        (:func:`repro.sample.inference.distributed_layerwise_logits`): conv
+        layer ``l``'s aggregation runs over ``layer_blocks[l]``, so halo
         fetches (and the backward error exchange) shrink to the rows those
-        edges actually touch, while the local feature matrices keep their
-        full height and the replicated model code is untouched.  Every worker
-        must call this at the same point — each restricted layer sets up its
-        own :class:`~repro.core.halo.HaloExchange` routing exchange.
-        ``recompute_in_degrees`` must be set for *sampled* grids so mean
-        aggregation normalizes by the sampled (not the full-graph) degree.
+        edges actually touch, while local feature matrices keep their full
+        ``(num_local_nodes, F)`` height and the replicated model code is
+        untouched.
+
+        Parameters
+        ----------
+        layer_blocks:
+            One ``world_size``-long :class:`~repro.partition.shard.EdgeBlock`
+            grid per conv layer, in input → output layer order; the step's
+            ``l``-th aggregation is dispatched onto ``layer_blocks[l]`` (the
+            replicas issue aggregations in identical order, so no layer ids
+            need to travel with the tensors).
+        name:
+            Key prefix namespacing the per-layer
+            :class:`~repro.core.halo.HaloExchange` routing exchanges.
+        recompute_in_degrees:
+            Must be ``True`` for *sampled* grids so mean aggregation
+            normalizes by the sampled degree; leave ``False`` when every
+            destination keeps its complete in-neighbourhood (MFG restriction,
+            layer-wise inference) so the full-graph degrees are reused.
+
+        Notes
+        -----
+        Collective: every worker must call this at the same point with grids
+        describing the same global edge set — each restricted layer performs
+        its own halo-routing exchange.  The installed grids replace any
+        previous restriction; wrap temporary installs with
+        :meth:`snapshot_restriction` / :meth:`restore_restriction`.
         """
         layers: List[Tuple[ShardedGraph, HaloExchange]] = []
         for layer, blocks in enumerate(layer_blocks):
@@ -163,13 +187,41 @@ class DistributedGraph(_DistributedGraphBase):
         self._mfg_active = False
         self._mfg_cursor = 0
 
+    def snapshot_restriction(self):
+        """Capture the currently installed restriction (opaque token).
+
+        Lets a temporary restriction user — e.g. layer-wise inference, which
+        installs a fresh single-layer grid per batch — put back whatever was
+        installed before it ran (a persistent MFG grid, or nothing) via
+        :meth:`restore_restriction`, instead of clobbering it.
+        """
+        return (self._mfg_layers, self._mfg_active)
+
+    def restore_restriction(self, snapshot) -> None:
+        """Reinstall a restriction captured by :meth:`snapshot_restriction`."""
+        self._mfg_layers, self._mfg_active = snapshot
+        self._mfg_cursor = 0
+
     def enable_mfg(self, layer_masks: Sequence[np.ndarray]) -> None:
         """Install per-layer MFG-restricted block grids (collective call).
 
-        ``layer_masks`` are the ``num_layers + 1`` global boolean masks from
-        :func:`repro.graph.mfg.message_flow_masks` over the *unpartitioned*
-        graph.  Conv layer ``l``'s aggregation then runs over blocks whose
-        edges all feed a destination required at level ``l + 1``.
+        Parameters
+        ----------
+        layer_masks:
+            The ``num_layers + 1`` global boolean masks — each shaped
+            ``(num_total_nodes,)`` — from
+            :func:`repro.graph.mfg.message_flow_masks` over the
+            *unpartitioned* graph.  Conv layer ``l``'s aggregation then runs
+            over blocks whose edges all feed a destination required at level
+            ``l + 1``.
+
+        Notes
+        -----
+        The restriction persists across steps until :meth:`clear_restriction`
+        (evaluation toggles it off with :meth:`set_mfg_active`).  Because
+        every required destination keeps its complete in-neighbourhood in
+        original edge order, seed-row outputs under the restriction are
+        bit-identical to the unrestricted pass.
         """
         if len(layer_masks) < 2:
             raise ValueError("layer_masks needs at least 2 entries (input and output level)")

@@ -48,6 +48,48 @@ class _DeepGNN(Module):
     def num_layers(self) -> int:
         return len(self.convs)
 
+    def forward_layer(self, index: int, graph, x: Tensor) -> Tensor:
+        """Apply conv layer ``index`` plus its trailing inter-layer transforms.
+
+        This is the single-layer hook the layer-wise inference engine
+        (:class:`repro.sample.inference.LayerWiseInference`) builds on: it
+        computes exactly what the full :meth:`forward` computes for one layer
+        — the conv itself followed by (BatchNorm → activation → Dropout) on
+        every layer but the last — given only that layer's input features.
+
+        Parameters
+        ----------
+        index:
+            Conv layer to apply, ``0 <= index < num_layers``.
+        graph:
+            Anything the conv layers accept: a full
+            :class:`~repro.graph.graph.Graph` / ``HeteroGraph``, one compacted
+            :class:`~repro.graph.mfg.MFGBlock` / ``MFGHeteroBlock``, or a
+            distributed graph handle.
+        x:
+            ``(num_src_rows, in_features)`` input features of this layer (for
+            a block, the block's source rows; otherwise one row per node).
+
+        Returns
+        -------
+        Tensor
+            ``(num_dst_rows, out_features)`` layer outputs.  In ``eval()``
+            mode every inter-layer transform is a per-row map (BatchNorm uses
+            its running statistics, Dropout is the identity), so computing
+            rows batch-by-batch yields bit-identical results to one full pass.
+        """
+        if not 0 <= index < len(self.convs):
+            raise IndexError(
+                f"model has {len(self.convs)} conv layers, asked for layer {index}"
+            )
+        x = self.convs[index](graph, x)
+        if index < len(self.convs) - 1:
+            if self.use_batch_norm:
+                x = self.norms[index](x)
+            x = self._activation(x)
+            x = self.dropout(x)
+        return x
+
     def forward(self, graph, x: Tensor) -> Tensor:
         """Apply the stack on a graph, a distributed handle, or an MFG pipeline.
 
@@ -63,14 +105,9 @@ class _DeepGNN(Module):
                 f"MFG pipeline has {pipeline.num_layers} layer blocks but the "
                 f"model has {len(self.convs)} conv layers"
             )
-        for index, conv in enumerate(self.convs):
+        for index in range(len(self.convs)):
             layer_graph = pipeline.layer_block(index) if pipeline is not None else graph
-            x = conv(layer_graph, x)
-            if index < len(self.convs) - 1:
-                if self.use_batch_norm:
-                    x = self.norms[index](x)
-                x = self._activation(x)
-                x = self.dropout(x)
+            x = self.forward_layer(index, layer_graph, x)
         return x
 
 

@@ -17,8 +17,16 @@ from repro.sample.distributed import (
     DistributedSamplingPlan,
     build_sampling_plan,
 )
+from repro.sample.inference import (
+    LayerWiseInference,
+    distributed_layerwise_logits,
+    layerwise_logits,
+)
 
 __all__ = [
+    "LayerWiseInference",
+    "layerwise_logits",
+    "distributed_layerwise_logits",
     "InEdgeIndex",
     "NeighborSampler",
     "sample_in_edges",

@@ -131,6 +131,27 @@ class DistributedNeighborSampler:
     ) -> List[List[EdgeBlock]]:
         """Sample one batch; returns this worker's per-layer block grids.
 
+        Parameters
+        ----------
+        batch_ids:
+            ``(batch_size,)`` *global* seed node ids — identical on every
+            worker (each derives the same shuffled order from the shared
+            seed).
+        epoch, batch_index:
+            Select the batch's independent counter-based random stream.
+
+        Returns
+        -------
+        list of list of EdgeBlock
+            ``num_layers`` grids of ``world_size``
+            :class:`~repro.partition.shard.EdgeBlock` objects, input → output
+            layer order, ready for
+            :meth:`~repro.core.dist_graph.DistributedGraph.install_restricted_layers`.
+            The union over workers of each layer's edges is bit-identical to
+            the single-machine sample of the same ``(seed, epoch, batch)``.
+
+        Notes
+        -----
         Collective: every worker must call it with the same global
         ``batch_ids`` (one ``allgather`` per layer merges the frontier).
         """

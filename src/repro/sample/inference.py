@@ -1,0 +1,290 @@
+"""Layer-wise full-neighbourhood inference: evaluate giant graphs batch-by-batch.
+
+Full-graph evaluation is the memory wall sampled training was built to avoid:
+one ``model(graph, features)`` call materializes every layer's full
+``(num_nodes, width)`` activation matrix *plus* the per-edge tensors of
+attention layers, all at once.  Layer-wise inference computes layer ``l``'s
+representations for **all** nodes, batch-by-batch, before moving on to layer
+``l + 1`` (the standard DGL/GraphSAGE ``inference()`` recipe):
+
+* the node set is split into fixed batches; for each batch a **single-layer,
+  full-neighbourhood** (``fanout=-1``) block is sampled, so each batch row's
+  aggregation sees its complete in-neighbourhood — layer-wise inference is
+  exact, never an approximation;
+* only two full-width matrices are ever alive (layer ``l``'s input and layer
+  ``l``'s output), and everything else — projected features, per-edge
+  attention tensors — is batch-sized;
+* batches are identical across layers (no shuffle, deterministic sampler),
+  so the structural :func:`~repro.tensor.edge_plan.cached_plan` cache resolves
+  every layer after the first to already-built edge plans;
+* sampling runs ahead of compute on the
+  :class:`~repro.sample.loader.MiniBatchDataLoader` thread pool under its
+  bounded-residency discipline (at most ``max_resident`` sampled batches
+  materialized).
+
+Because the engine runs the model in ``eval()`` mode, every inter-layer
+transform is a per-row map (BatchNorm applies running statistics, Dropout is
+the identity), and each compacted block preserves complete in-neighbourhoods
+in original edge order — the resulting logits are **bit-identical** to the
+full-graph forward pass (the ``benchmarks/bench_inference.py --smoke`` CI
+gate).
+
+The distributed variant (:func:`distributed_layerwise_logits`) runs the same
+layer-by-layer loop on every SAR worker: per batch, each worker restricts its
+``G_{p,q}`` edge blocks to the batch destinations it owns
+(:func:`~repro.partition.shard.restrict_block_to_dst`) and installs them via
+:meth:`~repro.core.dist_graph.DistributedGraph.install_restricted_layers`, so
+each batch's halo exchange fetches only the sources feeding that batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.dist_graph import DistributedGraph
+from repro.graph.graph import Graph
+from repro.graph.hetero import HeteroGraph
+from repro.partition.shard import restrict_block_to_dst
+from repro.sample.loader import MiniBatchDataLoader, num_batches_for
+from repro.sample.neighbor import NeighborSampler
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_positive_int
+
+
+def _check_layered_model(model) -> int:
+    """Validate that ``model`` exposes the per-layer hook; return its depth."""
+    num_layers = getattr(model, "num_layers", None)
+    if num_layers is None or not hasattr(model, "forward_layer"):
+        raise ValueError(
+            "layer-wise inference needs a model exposing num_layers and "
+            "forward_layer(index, graph, x) (all repro.nn models do)"
+        )
+    return int(num_layers)
+
+
+class LayerWiseInference:
+    """Single-machine layer-wise full-neighbourhood inference engine.
+
+    Computes ``model``'s output for **every** node of ``graph`` without ever
+    running a full-graph forward pass: one layer at a time, batch-by-batch,
+    with the per-batch single-layer blocks drawn by a ``fanout=-1``
+    :class:`~repro.sample.neighbor.NeighborSampler` and prefetched on the
+    :class:`~repro.sample.loader.MiniBatchDataLoader` thread pool.
+
+    Parameters
+    ----------
+    model:
+        A module exposing ``num_layers`` and ``forward_layer(index, graph,
+        x)`` — every ``repro.nn`` model qualifies.  The engine temporarily
+        switches it to ``eval()`` mode for the duration of :meth:`run`.
+    graph:
+        The full :class:`~repro.graph.graph.Graph` or
+        :class:`~repro.graph.hetero.HeteroGraph`.
+    batch_size:
+        Destination nodes per inference batch.  Peak memory scales with the
+        two full-width layer matrices plus one batch's intermediates; smaller
+        batches trade throughput for memory.
+    num_workers:
+        Background sampling threads (``0`` samples synchronously).
+    max_resident:
+        Bound on simultaneously materialized sampled batches, enforced by the
+        loader's prefetch discipline (the batch being consumed plus in-flight
+        prefetches).
+
+    Notes
+    -----
+    Determinism: batches are consecutive id ranges (no shuffle) and
+    ``fanout=-1`` takes complete in-neighbourhoods, so the engine is fully
+    deterministic — and its logits are bit-identical to
+    ``model(graph, Tensor(features))`` in ``eval()`` mode.
+    """
+
+    def __init__(
+        self,
+        model,
+        graph: Union[Graph, HeteroGraph],
+        batch_size: int = 1024,
+        num_workers: int = 1,
+        max_resident: int = 2,
+    ):
+        self.model = model
+        self.graph = graph
+        self.num_layers = _check_layered_model(model)
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        # The explicit seed keeps construction from consuming the library-wide
+        # RNG stream (fanout=-1 draws nothing, so the value is irrelevant).
+        sampler = NeighborSampler(graph, [-1], seed=0)
+        self.loader = MiniBatchDataLoader(
+            sampler,
+            np.arange(graph.num_nodes, dtype=np.int64),
+            batch_size=self.batch_size,
+            shuffle=False,
+            drop_last=False,
+            num_workers=num_workers,
+            max_resident=max_resident,
+        )
+
+    @property
+    def num_batches(self) -> int:
+        """Batches per layer (every layer iterates the same batch sequence)."""
+        return len(self.loader)
+
+    @property
+    def peak_resident_batches(self) -> int:
+        """High-water mark of simultaneously materialized sampled batches."""
+        return self.loader.peak_resident_batches
+
+    def run(self, features: np.ndarray) -> np.ndarray:
+        """Infer every node's output representation.
+
+        Parameters
+        ----------
+        features:
+            ``(num_nodes, in_features)`` input feature matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(num_nodes, out_features)`` outputs — bit-identical to the
+            full-graph ``model(graph, Tensor(features))`` in ``eval()`` mode.
+        """
+        model = self.model
+        num_nodes = self.graph.num_nodes
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                # Held as Tensors so the engine's two full-width matrices are
+                # visible to the live-tensor memory accounting benchmarks use.
+                h = Tensor(features)
+                if h.shape[0] != num_nodes:
+                    raise ValueError(
+                        f"features has {h.shape[0]} rows but graph has {num_nodes} nodes"
+                    )
+                for layer in range(self.num_layers):
+                    out: Optional[Tensor] = None
+                    for batch in self.loader.iter_epoch(layer):
+                        block = batch.pipeline.layer_block(0)
+                        x = Tensor(h.data[block.src_nodes])
+                        y = model.forward_layer(layer, block, x).data
+                        if out is None:
+                            out = Tensor(np.empty((num_nodes, y.shape[1]), dtype=y.dtype))
+                        out.data[block.dst_nodes] = y
+                    h = out
+                return h.data
+        finally:
+            if was_training:
+                model.train()
+
+
+def layerwise_logits(
+    model,
+    graph: Union[Graph, HeteroGraph],
+    features: np.ndarray,
+    batch_size: int = 1024,
+    num_workers: int = 1,
+    max_resident: int = 2,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`LayerWiseInference`."""
+    engine = LayerWiseInference(
+        model,
+        graph,
+        batch_size=batch_size,
+        num_workers=num_workers,
+        max_resident=max_resident,
+    )
+    return engine.run(features)
+
+
+def distributed_layerwise_logits(
+    dist_graph: DistributedGraph,
+    model,
+    features: np.ndarray,
+    batch_size: int = 1024,
+) -> np.ndarray:
+    """Layer-wise inference over a partitioned graph (collective call).
+
+    Every SAR worker walks the identical global batch sequence (consecutive
+    global-id ranges); per batch it restricts each of its ``G_{p,q}`` edge
+    blocks to the batch destinations it owns and installs the single-layer
+    grid via :meth:`~repro.core.dist_graph.DistributedGraph.
+    install_restricted_layers` — so the halo exchange of each batch fetches
+    only the (deduplicated) sources feeding that batch's rows, and no
+    full-graph forward pass (or multi-layer autograd graph) ever exists.
+
+    Parameters
+    ----------
+    dist_graph:
+        The worker's :class:`~repro.core.dist_graph.DistributedGraph`
+        (homogeneous graphs only).  Any restriction installed on the handle
+        (MFG or sampled training) is snapshotted and restored afterwards.
+    model:
+        The worker's model replica (``num_layers`` + ``forward_layer``);
+        switched to ``eval()`` for the duration.
+    features:
+        ``(num_local_nodes, in_features)`` — this worker's feature rows.
+    batch_size:
+        Global batch size; must be identical on every worker.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_local_nodes, out_features)`` — the worker's owned rows of the
+        global output matrix.  Matches the single-machine result up to
+        floating-point reduction order (the per-partition partial sums
+        accumulate block-sequentially).
+    """
+    if not isinstance(dist_graph, DistributedGraph):
+        raise ValueError(
+            "distributed layer-wise inference supports homogeneous "
+            "DistributedGraph handles only"
+        )
+    num_layers = _check_layered_model(model)
+    batch_size = check_positive_int(batch_size, "batch_size")
+    shard = dist_graph.shard
+    num_total = dist_graph.num_total_nodes
+    num_local = shard.num_local_nodes
+    num_batches = num_batches_for(num_total, batch_size, drop_last=False)
+    # Local row of each global id on this worker (-1 when owned elsewhere).
+    local_of_global = np.full(num_total, -1, dtype=np.int64)
+    local_of_global[shard.global_node_ids] = np.arange(num_local, dtype=np.int64)
+
+    snapshot = dist_graph.snapshot_restriction()
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            h = Tensor(features)
+            if h.shape[0] != num_local:
+                raise ValueError(
+                    f"features has {h.shape[0]} rows but this worker owns "
+                    f"{num_local} nodes"
+                )
+            for layer in range(num_layers):
+                out: Optional[Tensor] = None
+                for index in range(num_batches):
+                    lo = index * batch_size
+                    batch_global = np.arange(lo, min(lo + batch_size, num_total))
+                    owned_local = local_of_global[batch_global]
+                    owned_local = owned_local[owned_local >= 0]
+                    dst_mask = np.zeros(num_local, dtype=bool)
+                    dst_mask[owned_local] = True
+                    dist_graph.begin_step()
+                    blocks = [restrict_block_to_dst(b, dst_mask) for b in shard.blocks]
+                    dist_graph.install_restricted_layers([blocks], name="inf")
+                    # Local dense maps still cover every local row (replicated
+                    # model code is untouched); only the owned batch rows are
+                    # kept — their aggregations saw complete neighbourhoods.
+                    y = model.forward_layer(layer, dist_graph, h).data
+                    if out is None:
+                        out = Tensor(np.zeros((num_local, y.shape[1]), dtype=y.dtype))
+                    out.data[owned_local] = y[owned_local]
+                h = out
+            return h.data
+    finally:
+        dist_graph.restore_restriction(snapshot)
+        if was_training:
+            model.train()

@@ -7,7 +7,12 @@ prefetch discipline as the sequential-aggregation engine
 (:mod:`repro.core.seq_agg`): at most :attr:`MiniBatchDataLoader.max_resident`
 sampled batches are materialized at any moment (default 2 — the batch being
 consumed plus one prefetching in flight), so sampling overlaps training
-without letting materialized block chains pile up.
+without letting materialized block chains pile up.  The bound is a
+constructor argument (``max_resident=``), asserted inside the prefetch loop
+and surfaced as the :attr:`MiniBatchDataLoader.peak_resident_batches`
+telemetry; the layer-wise inference engine
+(:class:`repro.sample.inference.LayerWiseInference`) reuses the loader — and
+therefore the same bound — for its per-layer batch sweeps.
 
 Determinism is inherited from the sampler (see
 :mod:`repro.sample.neighbor`): every batch's content depends only on
@@ -60,9 +65,29 @@ def num_batches_for(num_seeds: int, batch_size: int, drop_last: bool) -> int:
 class NeighborSamplingConfig:
     """Declarative sampled-training setup consumed by the trainers.
 
-    ``fanouts`` must have one entry per conv layer of the model (input →
-    output order).  ``seed=None`` falls back to the training config's seed so
-    one seed pins the whole run.
+    Parameters
+    ----------
+    fanouts:
+        One entry per conv layer of the model, input → output order; each an
+        ``int`` (``-1`` = full neighbourhood) or, for heterogeneous graphs, a
+        ``relation name -> int`` mapping naming every relation.
+    batch_size:
+        Seed nodes per mini-batch (one optimizer step each).
+    replace, shuffle, drop_last:
+        Sampling / epoch-structure switches (see
+        :class:`~repro.sample.neighbor.NeighborSampler` and
+        :class:`MiniBatchDataLoader`).
+    num_workers:
+        Background sampling threads (``0`` = synchronous).
+    max_resident_batches:
+        Bound on sampled-but-unconsumed batches (the prefetch window),
+        forwarded to :attr:`MiniBatchDataLoader.max_resident`.
+    seed:
+        Base sampler seed; ``None`` falls back to the training config's seed
+        so one seed pins the whole run.  Identical configs train identical
+        batch sequences on one machine and across SAR workers (the
+        counter-based determinism guarantee of
+        :mod:`repro.sample.neighbor`).
     """
 
     fanouts: Sequence[Any] = (10, 10)
@@ -183,6 +208,12 @@ class MiniBatchDataLoader:
                     pending.append(executor.submit(self._make_batch, order, epoch, next_index))
                     next_index += 1
                     self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))
+                # The documented residency contract: never more than
+                # ``max_resident`` sampled batches materialized at once.
+                assert held + len(pending) <= self.max_resident, (
+                    f"resident-batch bound violated: {held + len(pending)} > "
+                    f"{self.max_resident}"
+                )
                 batch = pending.popleft().result()
                 held = 1
                 self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))

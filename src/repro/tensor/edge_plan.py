@@ -207,11 +207,24 @@ class EdgePlan:
     Parameters
     ----------
     src, dst:
-        Per-edge endpoint arrays (messages flow ``src → dst``).
+        ``(num_edges,)`` integer endpoint arrays (messages flow
+        ``src → dst``); the input order is the *reduction* order.
     num_dst:
-        Number of destination rows (aggregation output size).
+        Number of destination rows (aggregation output height).
     num_src:
         Number of source rows (feature matrix height).
+
+    Notes
+    -----
+    A plan is a pure function of its ``(src, dst, num_dst, num_src)``
+    arguments — it draws no randomness and keeps no mutable state visible to
+    callers — so kernel outputs through a plan are deterministic: per
+    destination, reductions run over edges in the stable destination-sorted
+    order derived from the input edge order.  Two plans built from identical
+    arguments are interchangeable, which is what makes the structural
+    :class:`PlanCache` safe.  Plans are **not** safe under concurrent kernel
+    calls on the same plan (the weighted-CSR template's data buffer is reused
+    in place).
     """
 
     def __init__(self, src, dst, num_dst: int, num_src: int):
@@ -456,5 +469,24 @@ def shared_plan_cache() -> PlanCache:
 
 
 def cached_plan(src, dst, num_dst: int, num_src: int) -> EdgePlan:
-    """Fetch (or build) a plan for the edge set through the shared cache."""
+    """Fetch (or build) a plan for the edge set through the shared cache.
+
+    Parameters
+    ----------
+    src, dst:
+        ``(num_edges,)`` integer endpoint arrays in reduction order.
+    num_dst, num_src:
+        Destination / source row-space heights.
+
+    Returns
+    -------
+    EdgePlan
+        A plan whose kernels behave identically to ``EdgePlan(src, dst,
+        num_dst, num_src)`` — structurally identical edge sets (same arrays,
+        same heights) share one plan, so re-sampled deterministic batches
+        (``fanout=-1``, unshuffled loaders, the layer-wise inference sweep)
+        never re-pay the construction sorts.  Lookup hashes the arguments in
+        one linear pass; see :class:`PlanCache` for the (single-consumer)
+        thread-safety contract.
+    """
     return _shared_cache.get(src, dst, num_dst, num_src)

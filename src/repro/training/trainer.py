@@ -49,6 +49,10 @@ from repro.sample.distributed import (
     DistributedSamplingPlan,
     build_sampling_plan,
 )
+from repro.sample.inference import (
+    LayerWiseInference,
+    distributed_layerwise_logits,
+)
 from repro.sample.loader import (
     MiniBatchDataLoader,
     NeighborSamplingConfig,
@@ -80,7 +84,16 @@ ModelFactory = Callable[[int], Module]
 # --------------------------------------------------------------------------- #
 @dataclass
 class TrainingConfig:
-    """Hyperparameters shared by the single-machine and distributed trainers."""
+    """Hyperparameters shared by the single-machine and distributed trainers.
+
+    A config fully determines a run: with the same config (and dataset /
+    model factory), a single-machine run and an ``N``-worker distributed run
+    execute the same epoch structure, and — when :attr:`sampler` is set — the
+    identical mini-batch sequence (the sampler's counter-based determinism).
+    Execution-path switches (:attr:`mfg_seeds`, :attr:`sampler`,
+    :attr:`eval_inference`) change *how* numbers are computed, not the model
+    or loss definitions; see each field's note for its exactness guarantee.
+    """
 
     num_epochs: int = 100
     lr: float = 0.01
@@ -111,6 +124,15 @@ class TrainingConfig:
     #: sampler seed defaults to :attr:`seed`, so single-machine and
     #: distributed runs with the same config train the same batch sequence.
     sampler: Optional[NeighborSamplingConfig] = None
+    #: How evaluation computes its logits: ``"full"`` runs one full-graph
+    #: forward pass; ``"layerwise"`` runs the layer-wise full-neighbourhood
+    #: inference engine (:mod:`repro.sample.inference`) — bit-identical
+    #: logits on a single machine, with peak memory bounded by two full-width
+    #: layer matrices plus one batch instead of the whole multi-layer forward.
+    eval_inference: str = "full"
+    #: Destination nodes per layer-wise inference batch (``eval_inference=
+    #: "layerwise"``); identical on every worker in distributed runs.
+    eval_batch_size: int = 1024
 
     def resolved_sampler_seed(self) -> int:
         """The seed the neighbour sampler actually draws under."""
@@ -248,6 +270,7 @@ class FullBatchTrainer:
                               weight_decay=self.config.weight_decay)
         self.scheduler = self.config.build_scheduler(self.optimizer)
         self._rng = np.random.default_rng(self.config.seed)
+        self._inference_engine: Optional[LayerWiseInference] = None
         self.sample_loader: Optional[MiniBatchDataLoader] = None
         if self.config.sampler is not None:
             scfg = self.config.sampler
@@ -362,20 +385,58 @@ class FullBatchTrainer:
         return total_loss / max(total_count, 1)
 
     # ------------------------------------------------------------------ #
-    def evaluate(self) -> tuple[Dict[str, float], np.ndarray]:
-        """Accuracies on train/val/test plus the raw logits."""
+    def _layerwise_engine(self, batch_size: int) -> LayerWiseInference:
+        """The cached layer-wise inference engine (rebuilt when sizes change).
+
+        Caching keeps the sampler, loader, and — through the structural plan
+        cache — the per-batch edge plans alive across evaluation calls, so
+        repeated evaluations never re-derive sparsity.
+        """
+        engine = self._inference_engine
+        if engine is None or engine.batch_size != batch_size:
+            engine = LayerWiseInference(self.model, self.graph, batch_size=batch_size)
+            self._inference_engine = engine
+        return engine
+
+    def evaluate(self, inference: Optional[str] = None,
+                 batch_size: Optional[int] = None) -> tuple[Dict[str, float], np.ndarray]:
+        """Accuracies on train/val/test plus the raw ``(num_nodes, C)`` logits.
+
+        Parameters
+        ----------
+        inference:
+            ``"full"`` (one full-graph forward pass) or ``"layerwise"`` (the
+            layer-wise full-neighbourhood engine of
+            :mod:`repro.sample.inference`: layer ``l`` is computed for all
+            nodes batch-by-batch before layer ``l + 1``, so no full-graph
+            forward is ever materialized).  Both produce bit-identical
+            logits; ``None`` falls back to
+            :attr:`TrainingConfig.eval_inference`.
+        batch_size:
+            Layer-wise batch size override (default
+            :attr:`TrainingConfig.eval_batch_size`).
+        """
+        mode = inference if inference is not None else self.config.eval_inference
+        if mode not in ("full", "layerwise"):
+            raise ValueError(f"inference must be 'full' or 'layerwise', got {mode!r}")
         dataset = self.dataset
         self.model.eval()
         with no_grad():
             features = self.augmenter.inference_batch(
                 dataset.features, dataset.labels, dataset.train_mask
             )
-            logits = self.model(self.graph, Tensor(features))
+            if mode == "layerwise":
+                engine = self._layerwise_engine(
+                    batch_size if batch_size is not None else self.config.eval_batch_size
+                )
+                logits = engine.run(features)
+            else:
+                logits = self.model(self.graph, Tensor(features)).data
         masks = {"train": dataset.train_mask, "val": dataset.val_mask,
                  "test": dataset.test_mask}
         report = evaluation_report(logits, dataset.labels, masks)
         self.model.train()
-        return report, logits.data
+        return report, logits
 
 
 # --------------------------------------------------------------------------- #
@@ -389,24 +450,44 @@ def _build_distributed_graph(shard, comm: Communicator, sar_config: SARConfig):
 
 def _distributed_evaluate(dist_graph, model: Module, augmenter, features: np.ndarray,
                           labels: np.ndarray, masks: Dict[str, np.ndarray],
-                          comm: Communicator) -> tuple[Dict[str, float], np.ndarray]:
+                          comm: Communicator, inference: str = "full",
+                          eval_batch_size: int = 1024
+                          ) -> tuple[Dict[str, float], np.ndarray]:
+    """Evaluate every local row (collective call).
+
+    ``inference="full"`` runs one unrestricted full-graph forward pass;
+    ``"layerwise"`` computes each layer for all nodes batch-by-batch with
+    per-batch halo fetches (:func:`repro.sample.inference.
+    distributed_layerwise_logits`), so no worker ever materializes a
+    full-graph forward.  Either way any installed MFG/sampling restriction is
+    suspended for the duration.  Heterogeneous handles always run the full
+    pass (the restriction machinery is homogeneous-only).
+    """
+    if inference not in ("full", "layerwise"):
+        raise ValueError(f"inference must be 'full' or 'layerwise', got {inference!r}")
     model.eval()
-    # Evaluation scores every row, so any MFG restriction is lifted for the
-    # duration of the inference pass.
-    restricted = getattr(dist_graph, "mfg_active", False)
-    if restricted:
-        dist_graph.set_mfg_active(False)
-    try:
-        dist_graph.begin_step()
-        with no_grad():
-            augmented = augmenter.inference_batch(features, labels, masks["train"])
-            logits = model(dist_graph, Tensor(augmented))
-    finally:
+    with no_grad():
+        augmented = augmenter.inference_batch(features, labels, masks["train"])
+    if inference == "layerwise" and isinstance(dist_graph, DistributedGraph):
+        logits_data = distributed_layerwise_logits(
+            dist_graph, model, augmented, batch_size=eval_batch_size
+        )
+    else:
+        # Evaluation scores every row, so any MFG restriction is lifted for
+        # the duration of the inference pass.
+        restricted = getattr(dist_graph, "mfg_active", False)
         if restricted:
-            dist_graph.set_mfg_active(True)
-    report = evaluation_report(logits, labels, masks, comm)
+            dist_graph.set_mfg_active(False)
+        try:
+            dist_graph.begin_step()
+            with no_grad():
+                logits_data = model(dist_graph, Tensor(augmented)).data
+        finally:
+            if restricted:
+                dist_graph.set_mfg_active(True)
+    report = evaluation_report(logits_data, labels, masks, comm)
     model.train()
-    return report, logits.data
+    return report, logits_data
 
 
 def _distributed_sampled_epoch(dist_graph, sampler: DistributedNeighborSampler,
@@ -536,7 +617,9 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
         record = EpochRecord(epoch=epoch, loss=mean_loss, lr=lr, train_time_s=elapsed)
         if config.eval_every and (epoch % config.eval_every == 0 or epoch == config.num_epochs):
             accs, _ = _distributed_evaluate(dist_graph, model, augmenter, features,
-                                            labels, masks, comm)
+                                            labels, masks, comm,
+                                            inference=config.eval_inference,
+                                            eval_batch_size=config.eval_batch_size)
             record.train_accuracy = accs["train"]
             record.val_accuracy = accs["val"]
             record.test_accuracy = accs["test"]
@@ -546,7 +629,9 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
         records.append(record)
 
     final_accs, logits = _distributed_evaluate(dist_graph, model, augmenter, features,
-                                               labels, masks, comm)
+                                               labels, masks, comm,
+                                               inference=config.eval_inference,
+                                               eval_batch_size=config.eval_batch_size)
     cs_accs: Optional[Dict[str, float]] = None
     if config.correct_and_smooth:
         refined = config.cs_params(dist_graph, logits, labels, masks["train"])

@@ -51,7 +51,9 @@ class TestAdjacency:
         agg = tiny_graph.adjacency() @ x
         expected = np.zeros_like(x)
         np.add.at(expected, tiny_graph.dst, x[tiny_graph.src])
-        np.testing.assert_allclose(agg, expected, rtol=1e-5)
+        # atol guards the near-zero sums of random normals, where a pure
+        # relative tolerance occasionally explodes.
+        np.testing.assert_allclose(agg, expected, rtol=1e-5, atol=1e-5)
 
     def test_mean_normalization_rows(self, tiny_graph):
         adj = tiny_graph.adjacency(normalization="mean")

@@ -1,0 +1,107 @@
+"""Check that every relative markdown link in the documentation resolves.
+
+Walks ``README.md`` and ``docs/*.md``, extracts inline links
+(``[text](target)``), and fails when a relative target — optionally carrying
+a ``#fragment`` — does not exist on disk.  External links (``http://``,
+``https://``, ``mailto:``) are accepted without network access, and bare
+anchors (``#section``) are checked against the headings of the same file.
+
+Usage::
+
+    python tools/check_docs.py            # repo root inferred from this file
+    python tools/check_docs.py --root .   # explicit repo root
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links, skipping images; code spans are stripped first.
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading.strip())
+    text = re.sub(r"[^\w\s-]", "", text.lower())
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def _document_lines(path: Path) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def _anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in _document_lines(path):
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(1)))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for number, line in enumerate(_document_lines(path), start=1):
+        for target in _LINK.findall(_CODE_SPAN.sub("", line)):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if not base:
+                if fragment and _slugify(fragment) not in _anchors_of(path):
+                    errors.append(f"{path}:{number}: missing anchor #{fragment}")
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{number}: broken link {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if _slugify(fragment) not in _anchors_of(resolved):
+                    errors.append(
+                        f"{path}:{number}: missing anchor #{fragment} in {base}"
+                    )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: the parent of this script's directory)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parent.parent
+
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print(f"error: expected documentation files are absent: {missing}")
+        return 2
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
