@@ -23,7 +23,7 @@ Each handle owns:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -94,6 +94,13 @@ class DistributedGraph(_DistributedGraphBase):
         self._mfg_layers: Optional[List[Tuple[ShardedGraph, HaloExchange]]] = None
         self._mfg_active = False
         self._mfg_cursor = 0
+        #: prepared-restriction cache keyed by the caller's structural key
+        #: (e.g. ``("layerwise", batch_size)`` for the inference batch
+        #: grids).  Restrictions are deterministic per graph, so reusing the
+        #: prepared layers skips both the block restriction and the halo
+        #: routing exchange on every call after the first — the distributed
+        #: analogue of the single-machine structural plan cache.
+        self.restriction_cache: Dict[Any, Any] = {}
 
     # -- graph-like interface ------------------------------------------- #
     @property
@@ -168,6 +175,11 @@ class DistributedGraph(_DistributedGraphBase):
         its own halo-routing exchange.  The installed grids replace any
         previous restriction; wrap temporary installs with
         :meth:`snapshot_restriction` / :meth:`restore_restriction`.
+
+        Returns the prepared ``(restricted shard view, halo)`` pairs so
+        callers whose restriction is deterministic — e.g. the layer-wise
+        inference batch grids — can keep them and reinstall later via
+        :meth:`install_prepared_layers` without re-deriving the routing.
         """
         layers: List[Tuple[ShardedGraph, HaloExchange]] = []
         for layer, blocks in enumerate(layer_blocks):
@@ -177,7 +189,22 @@ class DistributedGraph(_DistributedGraphBase):
                                        recompute_in_degrees=recompute_in_degrees),
                 halo,
             ))
-        self._mfg_layers = layers
+        self.install_prepared_layers(layers)
+        return layers
+
+    def install_prepared_layers(
+        self, layers: Sequence[Tuple[ShardedGraph, HaloExchange]]
+    ) -> None:
+        """Reinstall previously prepared restriction layers (local-only call).
+
+        Unlike :meth:`install_restricted_layers`, this performs **no**
+        collective work — the shard views and halo routings were prepared
+        earlier — so a cached restriction costs nothing on the wire to put
+        back.  All workers must still agree on *which* prepared grids are
+        active (the usual replicated-control-flow discipline), since the
+        halos' per-step fetches are collective.
+        """
+        self._mfg_layers = list(layers)
         self._mfg_active = True
         self._mfg_cursor = 0
 

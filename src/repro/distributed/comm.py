@@ -29,6 +29,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+#: Key prefix of the keyed-stream publishes behind
+#: :meth:`Communicator.allgather_keyed`.  Both backends exempt keys under it
+#: from :meth:`Communicator.clear_published`, so an iteration boundary
+#: (``DistributedGraph.begin_step``) can never delete a stream payload a
+#: background sampler has published but a peer has not consumed yet.  Stream
+#: keys are reclaimed explicitly via :meth:`Communicator.release_keyed`.
+STREAM_KEY_PREFIX = "__stream/"
+
 
 @dataclass
 class CommStats:
@@ -156,6 +164,41 @@ class Communicator(abc.ABC):
     @abc.abstractmethod
     def barrier(self) -> None:
         """Wait until every worker reaches this point."""
+
+    # -- keyed (barrier-free) collectives --------------------------------- #
+    def allgather_keyed(self, key: str, array: np.ndarray,
+                        tag: str = "allgather") -> List[np.ndarray]:
+        """Allgather under an explicit caller-chosen key, without a barrier.
+
+        The plain :meth:`allgather` orders concurrent calls with a private
+        per-worker counter and a shared barrier, so it is only safe from the
+        one thread that runs every collective in lockstep.  This variant
+        instead *names* the collective: every rank publishes its payload
+        under ``key`` (prefixed by :data:`STREAM_KEY_PREFIX`) and blockingly
+        fetches every peer's payload under the same key.  As long as all
+        ranks derive identical key sequences — the samplers namespace theirs
+        by ``(epoch, batch, layer)``, the same discipline ``begin_step``
+        uses for step keys — calls need no global ordering and may run from
+        a background thread concurrently with the main thread's barrier
+        collectives.
+
+        The payload stays published (exempt from :meth:`clear_published`)
+        until :meth:`release_keyed`; see
+        :class:`repro.sample.distributed.DistributedNeighborSampler` for the
+        release discipline that makes reclamation safe without acknowledgement
+        messages.
+        """
+        array = np.asarray(array)
+        name = STREAM_KEY_PREFIX + key
+        self.publish(name, array)
+        return [
+            array if rank == self.rank else self.fetch(rank, name, tag=tag)
+            for rank in range(self.world_size)
+        ]
+
+    def release_keyed(self, key: str) -> None:
+        """Reclaim this worker's payload of a completed keyed allgather."""
+        self.unpublish(STREAM_KEY_PREFIX + key)
 
     # -- helpers ---------------------------------------------------------- #
     def allreduce_scalar(self, value: float, op: str = "sum") -> float:

@@ -34,6 +34,17 @@ from repro.distributed.cluster import ClusterRunResult
 #: synchronization points and stay serial.
 PREFETCH_OVERLAP_TAGS = ("forward_halo", "backward_refetch")
 
+#: Tags hidden when the distributed sampled-training loop pipelines batch
+#: b+1's cooperative sampling (the per-layer frontier allgathers, tagged
+#: ``sample_frontier``) behind batch b's compute — see
+#: ``FullBatchTrainer._distributed_sampled_epoch`` and
+#: ``NeighborSamplingConfig.overlap_sampling``.
+SAMPLING_OVERLAP_TAGS = ("sample_frontier",)
+
+#: Everything the sampled data path can hide at once: halo prefetch plus the
+#: pipelined sampling frontiers.
+PIPELINE_OVERLAP_TAGS = PREFETCH_OVERLAP_TAGS + SAMPLING_OVERLAP_TAGS
+
 
 @dataclass(frozen=True)
 class ClusterSpec:

@@ -43,7 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.distributed.comm import Communicator, reduce_arrays
+from repro.distributed.comm import STREAM_KEY_PREFIX, Communicator, reduce_arrays
 
 _DEFAULT_TIMEOUT_S = 300.0
 #: parent-side liveness-check interval while draining the result queue
@@ -124,8 +124,10 @@ class MultiprocessCommunicator(Communicator):
         self._store.pop((self.rank, key), None)
 
     def clear_published(self) -> None:
+        # Keyed-stream payloads (background sampling frontiers) survive the
+        # iteration-boundary sweep; they are reclaimed via release_keyed.
         for store_key in list(self._store.keys()):
-            if store_key[0] == self.rank:
+            if store_key[0] == self.rank and not store_key[1].startswith(STREAM_KEY_PREFIX):
                 self._store.pop(store_key, None)
 
     # -- collectives ----------------------------------------------------- #

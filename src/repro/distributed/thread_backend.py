@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.distributed.comm import Communicator, CommStats, reduce_arrays
+from repro.distributed.comm import STREAM_KEY_PREFIX, Communicator, CommStats, reduce_arrays
 
 _DEFAULT_TIMEOUT_S = 120.0
 
@@ -118,9 +118,13 @@ class SharedStore:
         if event is not None:
             event.clear()
 
-    def clear_owner(self, owner: int) -> None:
+    def clear_owner(self, owner: int, keep_prefix: Optional[str] = None) -> None:
+        """Drop all of ``owner``'s entries, except keys under ``keep_prefix``."""
         with self._lock:
-            keys = [k for k in self._data if k[0] == owner]
+            keys = [
+                k for k in self._data
+                if k[0] == owner and not (keep_prefix and k[1].startswith(keep_prefix))
+            ]
             for k in keys:
                 self._data.pop(k, None)
                 self._events.pop(k, None)
@@ -165,7 +169,9 @@ class ThreadCommunicator(Communicator):
         self._store.remove(self.rank, key)
 
     def clear_published(self) -> None:
-        self._store.clear_owner(self.rank)
+        # Keyed-stream payloads (background sampling frontiers) survive the
+        # iteration-boundary sweep; they are reclaimed via release_keyed.
+        self._store.clear_owner(self.rank, keep_prefix=STREAM_KEY_PREFIX)
 
     # -- collectives ------------------------------------------------------ #
     def barrier(self) -> None:

@@ -63,6 +63,9 @@ class DistributedSamplingPlan:
     #: global node id -> owning partition
     assignment: np.ndarray
     worker_indexes: List[InEdgeIndex]
+    #: pipeline batch b+1's sampling behind batch b's compute (see
+    #: ``NeighborSamplingConfig.overlap_sampling``)
+    overlap: bool = True
 
     @property
     def num_layers(self) -> int:
@@ -108,6 +111,7 @@ def build_sampling_plan(
         train_seed_ids=np.asarray(train_seed_ids, dtype=np.int64),
         assignment=assignment,
         worker_indexes=worker_indexes,
+        overlap=config.overlap_sampling,
     )
 
 
@@ -122,6 +126,37 @@ class DistributedNeighborSampler:
         self.world_size = comm.world_size
         self.index = plan.worker_indexes[self.rank]
         self.num_local_nodes = len(book.nodes_of(self.rank))
+        self._held_key: Optional[str] = None
+
+    def _frontier_allgather(self, stream_key: str, src_global: np.ndarray) -> np.ndarray:
+        """One keyed frontier allgather, releasing the previous payload.
+
+        The frontier merge uses :meth:`Communicator.allgather_keyed` — keyed
+        by ``(epoch, batch, layer)``, barrier-free — instead of the plain
+        counter-ordered ``allgather``, so the whole protocol may run on a
+        background thread while the main thread executes batch b's barrier
+        collectives (see ``NeighborSamplingConfig.overlap_sampling``).
+
+        Reclamation needs no acknowledgement round-trip: this allgather
+        completing means every rank *published* under ``stream_key``, and a
+        rank only publishes key i after fully consuming key i-1 — so the
+        payload this worker still holds from the previous call is provably
+        consumed everywhere and can be released.
+        """
+        frontier = self.comm.allgather_keyed(
+            stream_key, np.unique(src_global), tag="sample_frontier"
+        )
+        if self._held_key is not None:
+            self.comm.release_keyed(self._held_key)
+        self._held_key = stream_key
+        return np.concatenate(frontier)
+
+    def release(self) -> None:
+        """Release the final stream payload (call after a barrier, e.g. at
+        epoch end, once all ranks are known to have finished sampling)."""
+        if self._held_key is not None:
+            self.comm.release_keyed(self._held_key)
+            self._held_key = None
 
     def sample_blocks(
         self,
@@ -153,7 +188,11 @@ class DistributedNeighborSampler:
         Notes
         -----
         Collective: every worker must call it with the same global
-        ``batch_ids`` (one ``allgather`` per layer merges the frontier).
+        ``batch_ids`` (one keyed allgather per layer merges the frontier).
+        Because the per-layer collectives are keyed by ``(epoch, batch,
+        layer)`` rather than ordered by a shared counter, the call is safe
+        to run on a background thread concurrently with main-thread barrier
+        collectives — the overlap the pipelined training loop exploits.
         """
         plan = self.plan
         current = np.unique(np.asarray(batch_ids, dtype=np.int64))
@@ -174,8 +213,11 @@ class DistributedNeighborSampler:
             src_global = self.index.src[positions]
             dst_local = self.index.dst[positions]
             layer_edges[layer] = (src_global, dst_local)
-            frontier = self.comm.allgather(np.unique(src_global), tag="sample")
-            current = np.union1d(current, np.concatenate(frontier))
+            # Namespace the collective by (epoch, batch, layer) — the same
+            # discipline begin_step uses for step keys — so concurrent batches
+            # can never collide even across the overlap boundary.
+            stream_key = f"smp/e{epoch}/b{batch_index}/l{layer}"
+            current = np.union1d(current, self._frontier_allgather(stream_key, src_global))
         return [self._build_blocks(src, dst) for src, dst in layer_edges]
 
     def _build_blocks(self, src_global: np.ndarray, dst_local: np.ndarray) -> List[EdgeBlock]:

@@ -1,18 +1,25 @@
-"""Mini-batch data loader: shuffled seed batches with bounded background sampling.
+"""Mini-batch data loader: shuffled seed batches over staged prefetch.
 
 The loader owns the epoch structure of sampled training: a deterministic
-per-epoch shuffle of the seed nodes, fixed-size batches, and a background
-thread pool that samples ahead of the consumer under the same bounded-
-prefetch discipline as the sequential-aggregation engine
-(:mod:`repro.core.seq_agg`): at most :attr:`MiniBatchDataLoader.max_resident`
+per-epoch shuffle of the seed nodes, fixed-size batches, and a staged
+background pipeline (:class:`~repro.sample.pipeline.StagedPipeline`) that
+runs item-slicing, neighbour sampling, block compaction, and (optionally)
+feature fetching as separate prefetch stages — so compaction and feature
+gathering of batch b overlap the sampling of batch b+1 while batch b-1
+trains.  The residency discipline is unchanged from the original
+single-queue design: at most :attr:`MiniBatchDataLoader.max_resident`
 sampled batches are materialized at any moment (default 2 — the batch being
-consumed plus one prefetching in flight), so sampling overlaps training
-without letting materialized block chains pile up.  The bound is a
-constructor argument (``max_resident=``), asserted inside the prefetch loop
-and surfaced as the :attr:`MiniBatchDataLoader.peak_resident_batches`
-telemetry; the layer-wise inference engine
-(:class:`repro.sample.inference.LayerWiseInference`) reuses the loader — and
-therefore the same bound — for its per-layer batch sweeps.
+consumed plus one prefetching in flight), counting batches in flight in any
+stage.  The bound is a constructor argument (``max_resident=``), asserted
+inside the pipeline's admission loop and surfaced as the
+:attr:`MiniBatchDataLoader.peak_resident_batches` telemetry; the layer-wise
+inference engine (:class:`repro.sample.inference.LayerWiseInference`) reuses
+the loader — and therefore the same bound — for its per-layer batch sweeps.
+
+Feature fetching is opt-in: :meth:`MiniBatchDataLoader.set_features` hands
+the loader the feature matrix, after which every yielded batch arrives with
+:attr:`MiniBatch.inputs` already gathered on a pipeline stage instead of on
+the training thread.
 
 Determinism is inherited from the sampler (see
 :mod:`repro.sample.neighbor`): every batch's content depends only on
@@ -25,8 +32,6 @@ reproduce the exact global batch sequence without communicating.
 
 from __future__ import annotations
 
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence
 
@@ -34,6 +39,7 @@ import numpy as np
 
 from repro.graph.mfg import MFGPipeline
 from repro.sample.neighbor import NeighborSampler
+from repro.sample.pipeline import Stage, StagedPipeline
 from repro.utils.seed import derive_rng
 from repro.utils.validation import check_1d_int_array, check_positive_int
 
@@ -99,6 +105,12 @@ class NeighborSamplingConfig:
     num_workers: int = 1
     #: bound on sampled-but-unconsumed batches (the prefetch window)
     max_resident_batches: int = 2
+    #: distributed runs only: sample batch b+1's blocks (cooperative
+    #: frontier allgathers included) on a background thread while batch b
+    #: computes.  Never changes what is sampled — only when the wire time
+    #: is paid.  Ignored by the single-machine loader path, which always
+    #: prefetches via its staged pipeline.
+    overlap_sampling: bool = True
     seed: Optional[int] = None
 
 
@@ -111,6 +123,10 @@ class MiniBatch:
     #: seed node ids, deduplicated ascending — identical to ``pipeline.output_nodes``
     seeds: np.ndarray
     pipeline: MFGPipeline
+    #: layer-0 input features, pre-gathered by the loader's feature-fetch
+    #: stage when :meth:`MiniBatchDataLoader.set_features` was called;
+    #: ``None`` otherwise.
+    inputs: Optional[np.ndarray] = None
 
     @property
     def input_nodes(self) -> np.ndarray:
@@ -119,6 +135,17 @@ class MiniBatch:
 
     def gather_inputs(self, features: np.ndarray) -> np.ndarray:
         return self.pipeline.gather_inputs(features)
+
+    def input_features(self, features: np.ndarray) -> np.ndarray:
+        """The batch's layer-0 input rows — prefetched if available.
+
+        Returns :attr:`inputs` when the feature-fetch stage already gathered
+        them (overlapping the previous batch's compute), else gathers from
+        ``features`` on the calling thread.
+        """
+        if self.inputs is not None:
+            return self.inputs
+        return self.gather_inputs(features)
 
 
 @dataclass
@@ -166,6 +193,19 @@ class MiniBatchDataLoader:
                 f"for {len(self.seeds)} seeds"
             )
         self._auto_epoch = 0
+        self._features: Optional[np.ndarray] = None
+
+    def set_features(self, features: Optional[np.ndarray]) -> None:
+        """Enable (or with ``None`` disable) the feature-fetch stage.
+
+        Once set, every yielded :class:`MiniBatch` carries its layer-0 input
+        rows in :attr:`MiniBatch.inputs`, gathered on a pipeline stage so the
+        copy overlaps the consumer's compute.  The array is read, never
+        written; the caller may swap it between epochs (the trainers do, and
+        layer-wise inference swaps it per layer) but must not mutate it while
+        an epoch is being iterated.
+        """
+        self._features = features
 
     def __len__(self) -> int:
         return num_batches_for(len(self.seeds), self.batch_size, self.drop_last)
@@ -180,47 +220,54 @@ class MiniBatchDataLoader:
         pipeline = self.sampler.sample(ids, epoch=epoch, batch_index=index)
         return MiniBatch(epoch=epoch, index=index, seeds=pipeline.output_nodes, pipeline=pipeline)
 
+    # -- pipeline stages ------------------------------------------------- #
+    # Item-sampler → neighbour-sampler → block-compaction → feature-fetch.
+    # The item stage is pure slicing (inline); sampling gets the worker
+    # budget (it dominates); compaction and fetching get one thread each so
+    # they overlap the next batch's sampling.  All stage work is counter-
+    # based and item-local, so stage threading never changes batch content.
+    def _stage_sample(self, task: tuple) -> tuple:
+        order, epoch, index = task
+        ids = order[index * self.batch_size : (index + 1) * self.batch_size]
+        return epoch, index, self.sampler.sample_structure(ids, epoch=epoch, batch_index=index)
+
+    def _stage_compact(self, task: tuple) -> MiniBatch:
+        epoch, index, structure = task
+        pipeline = self.sampler.compact(structure)
+        return MiniBatch(epoch=epoch, index=index, seeds=pipeline.output_nodes, pipeline=pipeline)
+
+    def _stage_fetch(self, batch: MiniBatch) -> MiniBatch:
+        features = self._features
+        if features is not None:
+            batch.inputs = batch.gather_inputs(features)
+        return batch
+
+    def _build_pipeline(self) -> StagedPipeline:
+        workers = max(0, self.num_workers)
+        downstream = min(1, workers)
+        return StagedPipeline(
+            stages=(
+                Stage("sample", self._stage_sample, num_workers=workers),
+                Stage("compact", self._stage_compact, num_workers=downstream),
+                Stage("fetch", self._stage_fetch, num_workers=downstream),
+            ),
+            max_resident=self.max_resident,
+        )
+
     def iter_epoch(self, epoch: int) -> Iterator[MiniBatch]:
-        """Yield the epoch's batches in order, sampling ahead on the pool.
+        """Yield the epoch's batches in order, staging work ahead of the
+        consumer (sampling, compaction, and feature fetch each prefetch
+        independently; ``num_workers=0`` runs everything synchronously).
 
         Re-iterating the same ``epoch`` yields identical batches.
         """
         order = epoch_seed_order(self.sampler.seed, self.seeds, epoch, self.shuffle)
-        num_batches = len(self)
-        if self.num_workers <= 0:
-            for index in range(num_batches):
-                yield self._make_batch(order, epoch, index)
-            return
-
-        executor = ThreadPoolExecutor(
-            max_workers=self.num_workers, thread_name_prefix="sample-prefetch"
-        )
-        try:
-            # ``held`` is the batch the consumer is working on: it counts
-            # against the residency bound until the consumer asks for the
-            # next one, so at most ``max_resident`` sampled batches are ever
-            # materialized at once (held + pending, in-flight included).
-            pending: deque = deque()
-            next_index = 0
-            held = 0
-            while next_index < num_batches or pending:
-                while next_index < num_batches and held + len(pending) < self.max_resident:
-                    pending.append(executor.submit(self._make_batch, order, epoch, next_index))
-                    next_index += 1
-                    self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))
-                # The documented residency contract: never more than
-                # ``max_resident`` sampled batches materialized at once.
-                assert held + len(pending) <= self.max_resident, (
-                    f"resident-batch bound violated: {held + len(pending)} > "
-                    f"{self.max_resident}"
-                )
-                batch = pending.popleft().result()
-                held = 1
-                self.peak_resident_batches = max(self.peak_resident_batches, held + len(pending))
-                yield batch
-                held = 0
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+        pipeline = self._build_pipeline()
+        tasks = ((order, epoch, index) for index in range(len(self)))
+        for batch in pipeline.run(tasks):
+            self.peak_resident_batches = max(self.peak_resident_batches, pipeline.peak_resident)
+            yield batch
+        self.peak_resident_batches = max(self.peak_resident_batches, pipeline.peak_resident)
 
     def __iter__(self) -> Iterator[MiniBatch]:
         """Iterate one epoch, auto-advancing the epoch counter per pass."""

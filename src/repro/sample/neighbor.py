@@ -39,6 +39,7 @@ gate ``benchmarks/bench_sampling.py --smoke`` (and the tests) assert.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,7 +47,14 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.hetero import HeteroGraph
 from repro.graph.mfg import MFGBlock, MFGHeteroBlock, MFGPipeline
-from repro.utils.seed import get_rng, hash_u64, mix_seed, splitmix64
+from repro.sample.kernels import (
+    _BUCKET_FANOUT_LIMIT,
+    bottomk_bucketed,
+    bottomk_sorted,
+    candidate_positions as _candidate_positions,
+    replacement_draws,
+)
+from repro.utils.seed import get_rng, mix_seed, splitmix64
 from repro.utils.validation import check_1d_int_array
 
 #: per-layer fanout specification: an int, or (hetero) a mapping per relation.
@@ -107,20 +115,6 @@ class InEdgeIndex:
         return self.indptr[nodes + 1] - self.indptr[nodes]
 
 
-def _candidate_positions(starts: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """All candidate positions for the given segments.
-
-    Returns ``(pos, seg)``: ``pos[i]`` indexes the index's candidate arrays
-    and ``seg[i]`` names the segment (node) the candidate belongs to.
-    """
-    total = int(counts.sum())
-    seg = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    offsets = np.zeros(len(counts), dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
-    pos = starts[seg] + (np.arange(total, dtype=np.int64) - offsets[seg])
-    return pos, seg
-
-
 def sample_in_edges(
     index: InEdgeIndex,
     nodes: np.ndarray,
@@ -128,6 +122,7 @@ def sample_in_edges(
     replace: bool,
     key: int,
     key_ids: Optional[np.ndarray] = None,
+    method: str = "bucketed",
 ) -> np.ndarray:
     """Deterministically sample in-edges of ``nodes`` from ``index``.
 
@@ -144,7 +139,15 @@ def sample_in_edges(
     of ``nodes`` over workers or threads samples the same edges.
     ``key_ids`` defaults to ``nodes`` and exists so distributed callers can
     pass global node ids while addressing the index with local ids.
+
+    ``method`` picks the without-replacement kernel from
+    :mod:`repro.sample.kernels`: ``"bucketed"`` (the default — sorts only
+    probable survivors) or ``"sorted"`` (the all-candidates reference).
+    Both select identical edges; the switch exists for parity tests and the
+    kernel micro-benchmark.
     """
+    if method not in ("bucketed", "sorted"):
+        raise ValueError(f"method must be 'bucketed' or 'sorted', got {method!r}")
     nodes = np.asarray(nodes, dtype=np.int64)
     empty = np.empty(0, dtype=np.int64)
     if nodes.size == 0:
@@ -160,33 +163,16 @@ def sample_in_edges(
         selected = pos
     elif not replace:
         # Per-segment bottom-k over per-edge hash keys: order-independent and
-        # identical however the segments are split across workers.
-        pos, seg = _candidate_positions(starts, counts)
-        # Selection uses the top 40 hash bits in *both* branches below, so
-        # the branch taken never changes which edges are picked.  Truncation
-        # ties fall back to ascending candidate position — ascending edge id
-        # — which is deterministic and identical across any split of the
-        # segments over workers.
-        keys = hash_u64(index.eids[pos], key) >> np.uint64(24)
-        if len(counts) < (1 << 24):
-            # One composite-key stable argsort instead of a lexsort (~6x
-            # faster): segment in the high 24 bits, the 40 hash bits below.
-            composite = (seg.astype(np.uint64) << np.uint64(40)) | keys
-            order = np.argsort(composite, kind="stable")
+        # identical however the segments are split across workers.  At
+        # extreme fanouts the bucketed threshold arithmetic would overflow
+        # (and bucketing buys nothing), so route those to the sorted kernel.
+        if method == "bucketed" and fanout < _BUCKET_FANOUT_LIMIT:
+            selected = bottomk_bucketed(index.eids, starts, counts, fanout, key)
         else:
-            order = np.lexsort((keys, seg))
-        offsets = np.zeros(len(counts), dtype=np.int64)
-        np.cumsum(counts[:-1], out=offsets[1:])
-        rank = np.arange(len(pos), dtype=np.int64) - offsets[seg]
-        selected = pos[order][rank < fanout]
+            selected = bottomk_sorted(index.eids, starts, counts, fanout, key)
     else:
-        nonzero = counts > 0
         key_base = nodes if key_ids is None else np.asarray(key_ids, dtype=np.int64)
-        node_hash = hash_u64(key_base[nonzero], key)
-        slots = np.tile(np.arange(fanout, dtype=np.uint64), int(nonzero.sum()))
-        draws = hash_u64(np.repeat(node_hash, fanout) + slots, splitmix64(key))
-        picks = draws % np.repeat(counts[nonzero].astype(np.uint64), fanout)
-        selected = np.repeat(starts[nonzero], fanout) + picks.astype(np.int64)
+        selected = replacement_draws(starts, counts, fanout, key, key_base)
 
     return selected[np.argsort(index.eids[selected], kind="stable")]
 
@@ -195,6 +181,25 @@ def _layer_key(seed: int, epoch: int, batch_index: int, layer: int) -> int:
     """The 64-bit sampling key of one layer of one batch (shared with the
     distributed sampler so both draw identical edges)."""
     return mix_seed(seed, epoch, batch_index, layer)
+
+
+@dataclass
+class SampledStructure:
+    """The raw output of the neighbour-sampler stage, before compaction.
+
+    ``node_lists`` holds one sorted-unique global-id array per node layer
+    (``num_layers + 1`` entries, input layer first); ``edge_sets`` holds the
+    sampled ``(src, dst)`` global-id pairs per conv layer — for
+    heterogeneous graphs a ``relation name -> (src, dst)`` mapping instead.
+    Produced by :meth:`NeighborSampler.sample_structure` and consumed by
+    :meth:`NeighborSampler.compact`; the split is what lets the staged
+    pipeline run neighbour sampling and block compaction of different
+    batches concurrently.
+    """
+
+    node_lists: List[np.ndarray]
+    edge_sets: List[Union[Tuple[np.ndarray, np.ndarray], Dict[str, Tuple[np.ndarray, np.ndarray]]]]
+    hetero: bool
 
 
 class NeighborSampler:
@@ -307,18 +312,37 @@ class NeighborSampler:
         random stream; calling twice with the same arguments returns
         identical structures.
         """
+        return self.compact(self.sample_structure(seeds, epoch, batch_index))
+
+    def sample_structure(self, seeds, epoch: int = 0, batch_index: int = 0) -> SampledStructure:
+        """The neighbour-sampler stage: walk the layered neighbourhood.
+
+        Draws the per-layer edge sets and node lists for one mini-batch
+        without building blocks — the (cheaper) relabelling happens in
+        :meth:`compact`.  ``sample`` is exactly the composition of the two,
+        and the staged pipeline runs them as separate prefetch stages.
+        """
         seeds = check_1d_int_array(seeds, "seeds", max_value=self.num_nodes)
         if seeds.size == 0:
             raise ValueError("seeds must contain at least one node")
         if self.is_hetero:
-            return self._sample_hetero(np.unique(seeds), epoch, batch_index)
-        return self._sample_homogeneous(np.unique(seeds), epoch, batch_index)
+            return self._structure_hetero(np.unique(seeds), epoch, batch_index)
+        return self._structure_homogeneous(np.unique(seeds), epoch, batch_index)
+
+    def compact(self, structure: SampledStructure) -> MFGPipeline:
+        """The block-compaction stage: relabel a structure into MFG blocks."""
+        if structure.hetero:
+            return self._compact_hetero(structure)
+        return self._compact_homogeneous(structure)
 
     # -- homogeneous ----------------------------------------------------- #
-    def _sample_homogeneous(self, seeds: np.ndarray, epoch: int, batch_index: int) -> MFGPipeline:
+    def _structure_homogeneous(
+        self, seeds: np.ndarray, epoch: int, batch_index: int
+    ) -> SampledStructure:
         num_layers = self.num_layers
         node_lists: List[np.ndarray] = [None] * (num_layers + 1)  # type: ignore[list-item]
-        edge_sets: List[Tuple[np.ndarray, np.ndarray]] = [None] * num_layers  # type: ignore[list-item]
+        edge_sets: List[Tuple[np.ndarray, np.ndarray]]
+        edge_sets = [None] * num_layers  # type: ignore[list-item]
         current = seeds
         node_lists[num_layers] = current
         # Conv layer l consumes layer-(l) inputs and produces layer-(l+1)
@@ -333,9 +357,12 @@ class NeighborSampler:
             edge_sets[layer] = (src, dst)
             current = np.union1d(current, src)
             node_lists[layer] = current
+        return SampledStructure(node_lists, edge_sets, hetero=False)
 
+    def _compact_homogeneous(self, structure: SampledStructure) -> MFGPipeline:
+        node_lists, edge_sets = structure.node_lists, structure.edge_sets
         blocks: List[MFGBlock] = []
-        for layer in range(num_layers):
+        for layer in range(len(edge_sets)):
             # Relabel via searchsorted over the sorted-unique node lists so
             # per-batch work scales with the sample, not with num_nodes.
             src_nodes, dst_nodes = node_lists[layer], node_lists[layer + 1]
@@ -352,10 +379,13 @@ class NeighborSampler:
         return MFGPipeline(blocks)
 
     # -- heterogeneous --------------------------------------------------- #
-    def _sample_hetero(self, seeds: np.ndarray, epoch: int, batch_index: int) -> MFGPipeline:
+    def _structure_hetero(
+        self, seeds: np.ndarray, epoch: int, batch_index: int
+    ) -> SampledStructure:
         num_layers = self.num_layers
         node_lists: List[np.ndarray] = [None] * (num_layers + 1)  # type: ignore[list-item]
-        edge_sets: List[Dict[str, Tuple[np.ndarray, np.ndarray]]] = [None] * num_layers  # type: ignore[list-item]
+        edge_sets: List[Dict[str, Tuple[np.ndarray, np.ndarray]]]
+        edge_sets = [None] * num_layers  # type: ignore[list-item]
         current = seeds
         node_lists[num_layers] = current
         for layer in range(num_layers - 1, -1, -1):
@@ -375,9 +405,12 @@ class NeighborSampler:
             edge_sets[layer] = sampled
             current = np.unique(np.concatenate(reached))
             node_lists[layer] = current
+        return SampledStructure(node_lists, edge_sets, hetero=True)
 
+    def _compact_hetero(self, structure: SampledStructure) -> MFGPipeline:
+        node_lists, edge_sets = structure.node_lists, structure.edge_sets
         blocks: List[MFGHeteroBlock] = []
-        for layer in range(num_layers):
+        for layer in range(len(edge_sets)):
             src_nodes, dst_nodes = node_lists[layer], node_lists[layer + 1]
             relation_edges = {
                 name: (np.searchsorted(src_nodes, src), np.searchsorted(dst_nodes, dst))

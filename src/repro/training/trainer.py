@@ -20,6 +20,7 @@ baseline used in the single-host fused-attention benchmark.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -374,8 +375,12 @@ class FullBatchTrainer:
         predict_mask = np.asarray(predict_mask, dtype=bool)
         total_loss = 0.0
         total_count = 0
+        # Hand the epoch's (augmented) features to the loader so its
+        # feature-fetch stage pre-gathers each batch's input rows off the
+        # training thread.
+        self.sample_loader.set_features(features)
         for batch in self.sample_loader.iter_epoch(epoch):
-            logits = self.model(batch.pipeline, Tensor(batch.gather_inputs(features)))
+            logits = self.model(batch.pipeline, Tensor(batch.input_features(features)))
             mask = predict_mask[batch.seeds]
             loss = _local_loss(logits, dataset.labels[batch.seeds], mask)
             count = int(mask.sum())
@@ -501,33 +506,69 @@ def _distributed_sampled_epoch(dist_graph, sampler: DistributedNeighborSampler,
     batch (same shuffle stream), sample their owned share of each layer,
     install the sampled per-layer block grids (shrunken halo exchanges), and
     take one gradient-synchronized optimizer step.
+
+    With ``plan.overlap`` (the default), batch b+1's cooperative sampling —
+    the per-layer ``sample_frontier`` allgathers included — runs on a
+    background thread while batch b computes, so its wire time hides behind
+    the forward/backward pass (the cost model accounts this under
+    ``SAMPLING_OVERLAP_TAGS``).  The keyed, barrier-free frontier collectives
+    (:meth:`Communicator.allgather_keyed`) make this safe: the sampling
+    thread never touches the barrier or the collective counters the main
+    thread's halo exchanges and allreduces rely on.  Block *installation*
+    (which builds barrier-based halo exchanges) stays on the main thread.
+    Overlap never changes what is sampled — only when the sampling happens.
     """
     order = epoch_seed_order(plan.seed, plan.train_seed_ids, epoch, plan.shuffle)
     predict_mask = np.asarray(predict_mask, dtype=bool)
     batch_mask = np.zeros(dist_graph.num_total_nodes, dtype=bool)
     total_loss = 0.0
     total_count = 0
-    for index in range(plan.num_batches):
+
+    def _sample(index: int):
         batch_ids = order[index * plan.batch_size:(index + 1) * plan.batch_size]
-        dist_graph.begin_step()
-        blocks = sampler.sample_blocks(batch_ids, epoch, index)
-        dist_graph.install_restricted_layers(blocks, name="smp",
-                                             recompute_in_degrees=True)
-        batch_mask[:] = False
-        batch_mask[batch_ids] = True
-        mask = predict_mask & batch_mask[dist_graph.global_node_ids]
-        logits = model(dist_graph, Tensor(augmented))
-        loss = _local_loss(logits, labels, mask)
-        local_count = int(mask.sum())
-        model.zero_grad()
-        loss.backward()
-        global_count = comm.allreduce_scalar(float(local_count))
-        sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
-        optimizer.step()
-        total_loss += float(loss.data)
-        total_count += local_count
+        return batch_ids, sampler.sample_blocks(batch_ids, epoch, index)
+
+    overlap = plan.overlap and plan.num_batches > 1
+    executor = None
+    ahead = None
+    if overlap:
+        executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="sample-ahead")
+        ahead = executor.submit(_sample, 0)
+    try:
+        for index in range(plan.num_batches):
+            if overlap:
+                batch_ids, blocks = ahead.result()
+                if index + 1 < plan.num_batches:
+                    ahead = executor.submit(_sample, index + 1)
+            else:
+                batch_ids, blocks = _sample(index)
+            dist_graph.begin_step()
+            dist_graph.install_restricted_layers(blocks, name="smp",
+                                                 recompute_in_degrees=True)
+            batch_mask[:] = False
+            batch_mask[batch_ids] = True
+            mask = predict_mask & batch_mask[dist_graph.global_node_ids]
+            logits = model(dist_graph, Tensor(augmented))
+            loss = _local_loss(logits, labels, mask)
+            local_count = int(mask.sum())
+            model.zero_grad()
+            loss.backward()
+            global_count = comm.allreduce_scalar(float(local_count))
+            sync_gradients(model.parameters(), comm, scale=1.0 / max(global_count, 1.0))
+            optimizer.step()
+            total_loss += float(loss.data)
+            total_count += local_count
+    finally:
+        # Every submitted future was consumed on the success path, so this
+        # never waits there; on failure it abandons the in-flight sample
+        # rather than blocking on a possibly-stuck collective.
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
     dist_graph.clear_restriction()
     totals = comm.allreduce(np.asarray([total_loss, float(total_count)], dtype=np.float64))
+    # The allreduce above is a barrier: every rank has finished the epoch's
+    # sampling, so the last stream payload is provably consumed everywhere.
+    sampler.release()
     return float(totals[0]) / max(float(totals[1]), 1.0)
 
 

@@ -155,6 +155,98 @@ class TestCollectives:
         assert all(r == expected for r in result.results)
 
 
+class TestKeyedCollectives:
+    """Barrier-free keyed allgather: the primitive the sampling overlap uses."""
+
+    def test_roundtrip_and_tag_accounting(self):
+        def worker(rank, comm):
+            gathered = comm.allgather_keyed(
+                "s/0", np.array([rank], dtype=np.int64), tag="sample_frontier"
+            )
+            comm.barrier()
+            comm.release_keyed("s/0")
+            return ([int(g[0]) for g in gathered],
+                    comm.stats.received_by_tag.get("sample_frontier", 0))
+
+        result = run_distributed(worker, 3)
+        for values, received in result.results:
+            assert values == [0, 1, 2]
+            assert received == 2 * 8  # one int64 from each of two peers
+
+    def test_stream_keys_survive_clear_published(self):
+        from repro.distributed.comm import STREAM_KEY_PREFIX
+
+        def worker(rank, comm):
+            comm.publish(STREAM_KEY_PREFIX + "x", np.array([float(rank)], dtype=np.float32))
+            comm.publish("ordinary", np.ones(1, dtype=np.float32))
+            comm.clear_published()  # begin_step housekeeping: spares stream keys
+            comm.barrier()
+            fetched = comm.fetch((rank + 1) % 2, STREAM_KEY_PREFIX + "x")
+            comm.barrier()
+            comm.release_keyed("x")
+            return float(fetched[0])
+
+        assert run_distributed(worker, 2).results == [1.0, 0.0]
+
+    def test_keyed_allgathers_concurrent_with_barrier_collectives(self):
+        """A background thread streaming keyed allgathers must never perturb
+        the main thread's counter-ordered collectives (the property the
+        pipelined sampled-training loop stands on)."""
+        import threading
+
+        def worker(rank, comm):
+            background = {}
+
+            def stream():
+                rounds = []
+                for step in range(6):
+                    gathered = comm.allgather_keyed(
+                        f"bg/{step}", np.array([rank * 100 + step], dtype=np.int64),
+                        tag="sample_frontier",
+                    )
+                    rounds.append([int(g[0]) for g in gathered])
+                background["rounds"] = rounds
+
+            thread = threading.Thread(target=stream)
+            thread.start()
+            main = [
+                float(comm.allreduce(np.array([float(rank + step)]))[0])
+                for step in range(6)
+            ]
+            thread.join()
+            comm.barrier()
+            for step in range(6):
+                comm.release_keyed(f"bg/{step}")
+            return main, background["rounds"]
+
+        result = run_distributed(worker, 2)
+        for main, rounds in result.results:
+            assert main == [sum(r + step for r in range(2)) for step in range(6)]
+            assert rounds == [[step, 100 + step] for step in range(6)]
+
+    def test_sample_frontier_time_hidden_by_overlap_tags(self):
+        from repro.distributed.cost_model import SAMPLING_OVERLAP_TAGS
+
+        def worker(rank, comm):
+            comm.allgather_keyed("f/0", np.ones(4096, dtype=np.int64),
+                                 tag="sample_frontier")
+            x = np.random.randn(150, 150)
+            for _ in range(8):
+                x = x @ x.T
+                x /= np.abs(x).max()
+            comm.barrier()
+            comm.release_keyed("f/0")
+            return None
+
+        result = run_distributed(worker, 2)
+        spec = ClusterSpec(bandwidth_mbps=1.0, latency_s=0.0)
+        serial = epoch_cost(result, spec)
+        overlapped = epoch_cost(result, spec, overlap_tags=SAMPLING_OVERLAP_TAGS)
+        assert serial.hidden_comm_time_s == 0.0
+        assert overlapped.hidden_comm_time_s > 0.0
+        assert overlapped.epoch_time_s < serial.epoch_time_s
+
+
 class TestFailureHandling:
     def test_worker_exception_propagates_without_deadlock(self):
         def worker(rank, comm):

@@ -338,6 +338,39 @@ def test_distributed_layerwise_restores_installed_restriction(dataset):
     assert all(shape[1] == dataset.num_classes for _, shape in result.results)
 
 
+def test_distributed_layerwise_restriction_cache_reused(dataset):
+    """Repeat evaluations reinstall cached restriction grids: zero additional
+    setup-tagged routing traffic, identical logits."""
+    dataset.attach_to_graph()
+    template = _fixed_model(dataset, "sage")
+    weights = _weights_of(template)
+    book = PartitionBook(partition_graph(dataset.graph, 2, seed=0), 2)
+    shards = create_shards(dataset.graph, book)
+    batch_size = 60
+    num_batches = -(-dataset.graph.num_nodes // batch_size)
+
+    def worker(rank, comm, shard):
+        dist_graph = DistributedGraph(shard, comm, SARConfig(mode="sar"))
+        model = _install_weights(_fixed_model(dataset, "sage"), weights)
+        model.set_comm(comm)
+        first = distributed_layerwise_logits(
+            dist_graph, model, shard.node_data["feat"], batch_size=batch_size
+        )
+        setup_after_first = comm.stats.received_by_tag.get("setup", 0)
+        second = distributed_layerwise_logits(
+            dist_graph, model, shard.node_data["feat"], batch_size=batch_size
+        )
+        setup_after_second = comm.stats.received_by_tag.get("setup", 0)
+        np.testing.assert_array_equal(first, second)
+        cached = dist_graph.restriction_cache[("layerwise", batch_size)]
+        return setup_after_second - setup_after_first, len(cached)
+
+    result = run_distributed(worker, 2, worker_args=shards)
+    for extra_setup_bytes, cached_grids in result.results:
+        assert extra_setup_bytes == 0
+        assert cached_grids == num_batches
+
+
 def test_distributed_layerwise_rejects_wrong_inputs(dataset):
     dataset.attach_to_graph()
     book = PartitionBook(partition_graph(dataset.graph, 2, seed=0), 2)

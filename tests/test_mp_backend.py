@@ -14,10 +14,15 @@ import numpy as np
 import pytest
 
 from repro.core import SARConfig
+from repro.datasets import make_sbm_dataset
+from repro.distributed.comm import STREAM_KEY_PREFIX
 from repro.distributed.mp_backend import WorkerFailedError, run_multiprocess
 from repro.graph import stochastic_block_model
 from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.sample import NeighborSamplingConfig, build_sampling_plan
 from repro.tensor import Tensor
+from repro.training.trainer import FullBatchTrainer, TrainingConfig
+from repro.utils.seed import temp_seed
 
 
 def _collective_worker(rank, comm):
@@ -49,6 +54,58 @@ def _sar_aggregation_worker(rank, comm, shard, z_full=None):
     out = dist_graph.aggregate_neighbors(z, op="mean")
     (out ** 2).sum().backward()
     return out.data, z.grad
+
+
+def _stream_keys_survive_clear_worker(rank, comm):
+    # A keyed-stream payload published by a background sampler must survive
+    # the clear_published that begin_step issues at iteration boundaries,
+    # while ordinary publishes are swept as usual.
+    ws = comm.world_size
+    comm.publish(STREAM_KEY_PREFIX + "probe", np.array([float(rank)], dtype=np.float32))
+    comm.publish("swept", np.zeros(1, dtype=np.float32))
+    comm.clear_published()
+    comm.barrier()
+    fetched = comm.fetch((rank + 1) % ws, STREAM_KEY_PREFIX + "probe", tag="sample_frontier")
+    comm.barrier()
+    comm.release_keyed("probe")
+    return float(fetched[0])
+
+
+def _keyed_allgather_worker(rank, comm):
+    rounds = []
+    for step in range(3):
+        gathered = comm.allgather_keyed(
+            f"k/{step}", np.array([rank * 10 + step], dtype=np.int64), tag="sample_frontier"
+        )
+        rounds.append([int(g[0]) for g in gathered])
+    comm.barrier()
+    for step in range(3):
+        comm.release_keyed(f"k/{step}")
+    return rounds
+
+
+def _sampled_model(dim, num_classes=4):
+    from repro.nn.models import GraphSageNet
+
+    with temp_seed(0):
+        return GraphSageNet(dim, 8, num_classes, num_layers=2,
+                            dropout=0.0, use_batch_norm=False)
+
+
+def _sampled_training_worker(rank, comm, shard, *, config, sampling,
+                             feature_dim, num_classes):
+    from repro.training.trainer import distributed_train_worker
+
+    out = distributed_train_worker(
+        rank, comm, shard,
+        model_factory=_sampled_model,
+        feature_dim=feature_dim,
+        num_classes=num_classes,
+        config=config,
+        sar_config=SARConfig("sar"),
+        sampling=sampling,
+    )
+    return [r.loss for r in out["records"]]
 
 
 def _failing_worker(rank, comm):
@@ -114,6 +171,47 @@ class TestMultiprocessBackend:
         stitched = book.scatter_to_global([r[0] for r in results])
         expected = np.asarray(graph.adjacency(normalization="mean") @ z_full)
         np.testing.assert_allclose(stitched, expected, rtol=1e-3, atol=1e-3)
+
+    def test_stream_keys_survive_clear_published(self):
+        results = run_multiprocess(_stream_keys_survive_clear_worker, world_size=2,
+                                   timeout_s=120)
+        assert results == [1.0, 0.0]
+
+    def test_keyed_allgather_across_processes(self):
+        results = run_multiprocess(_keyed_allgather_worker, world_size=3, timeout_s=120)
+        for rounds in results:
+            assert rounds == [[step, 10 + step, 20 + step] for step in range(3)]
+
+    def test_sampled_training_matches_single_machine(self):
+        # The cooperative sampled training loop — keyed frontier allgathers,
+        # pipelined batch b+1 sampling included — must run unchanged across
+        # OS processes and train the same batch sequence as one machine.
+        dataset = make_sbm_dataset(
+            name="mp-sampled", num_nodes=120, num_classes=4, feature_dim=8,
+            p_in=0.12, p_out=0.01, noise=1.5,
+            train_frac=0.5, val_frac=0.2, test_frac=0.3, seed=5,
+        )
+        dataset.attach_to_graph()
+        config = TrainingConfig(
+            num_epochs=2, lr=0.05, eval_every=0, seed=0,
+            sampler=NeighborSamplingConfig(fanouts=(3, 3), batch_size=32),
+        )
+        single = FullBatchTrainer(
+            _sampled_model(dataset.feature_dim), dataset, config
+        ).train()
+
+        book = PartitionBook(partition_graph(dataset.graph, 2, seed=0), 2)
+        shards = create_shards(dataset.graph, book)
+        plan = build_sampling_plan(dataset.graph, book, config.sampler,
+                                   dataset.train_indices(),
+                                   config.resolved_sampler_seed())
+        results = run_multiprocess(
+            _sampled_training_worker, world_size=2, worker_args=shards,
+            timeout_s=180, config=config, sampling=plan,
+            feature_dim=dataset.feature_dim, num_classes=dataset.num_classes,
+        )
+        for losses in results:
+            np.testing.assert_allclose(losses, single.losses(), rtol=1e-4, atol=1e-6)
 
     def test_worker_error_is_reported_and_survivors_unblock(self):
         start = time.monotonic()

@@ -333,7 +333,7 @@ class TestMiniBatchDataLoader:
         def boom(*args, **kwargs):
             raise RuntimeError("sampler exploded")
 
-        monkeypatch.setattr(loader.sampler, "sample", boom)
+        monkeypatch.setattr(loader.sampler, "sample_structure", boom)
         with pytest.raises(RuntimeError, match="sampler exploded"):
             list(loader.iter_epoch(1))
 

@@ -164,6 +164,49 @@ def test_sampled_halo_traffic_shrinks_vs_full_batch(small_dataset):
 
 
 @pytest.mark.slow
+def test_overlap_never_changes_training(small_dataset):
+    """Pipelining batch b+1's sampling behind batch b's compute must be a
+    pure scheduling change: identical losses, and the frontier traffic
+    tagged so the cost model can hide it behind compute."""
+    from repro.distributed.cost_model import (
+        PAPER_LIKE_SPEC,
+        PIPELINE_OVERLAP_TAGS,
+        epoch_cost,
+    )
+
+    weights = _fixed_weights(small_dataset.feature_dim, small_dataset.num_classes, "sage")
+    common = dict(num_epochs=2, lr=0.05, eval_every=0, seed=0)
+
+    def factory(dim):
+        return _with_weights(
+            _make_model(dim, small_dataset.num_classes, "sage"), weights
+        )
+
+    def run(overlap):
+        return DistributedTrainer(
+            small_dataset, factory, num_workers=2,
+            config=TrainingConfig(
+                sampler=NeighborSamplingConfig(fanouts=(3, 3), batch_size=48,
+                                               overlap_sampling=overlap),
+                **common,
+            ),
+        ).run()
+
+    on, off = run(True), run(False)
+    np.testing.assert_array_equal(on.training.losses(), off.training.losses())
+    # The cooperative frontier merges travel under their own tag...
+    frontier = on.cluster.total_received_by_tag().get("sample_frontier", 0)
+    assert frontier > 0
+    assert frontier == off.cluster.total_received_by_tag().get("sample_frontier", 0)
+    # ...so the cost model can prove their wire time hides behind compute.
+    report = epoch_cost(on.cluster, PAPER_LIKE_SPEC, num_epochs=2,
+                        overlap_tags=PIPELINE_OVERLAP_TAGS)
+    serial = epoch_cost(on.cluster, PAPER_LIKE_SPEC, num_epochs=2)
+    assert report.hidden_comm_time_s > 0
+    assert report.epoch_time_s < serial.epoch_time_s
+
+
+@pytest.mark.slow
 def test_three_worker_sampled_run_completes(small_dataset):
     config = TrainingConfig(
         num_epochs=2, lr=0.05, eval_every=2, seed=0,
