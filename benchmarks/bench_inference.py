@@ -23,9 +23,12 @@ Usage::
 ``--smoke`` runs a tiny workload and asserts the subsystem's correctness
 contracts (always also checked in full mode):
 
-* layer-wise logits are **bit-identical** to the full-graph forward pass;
+* layer-wise logits are **bit-identical** to the full-graph forward pass
+  (for both the fixed-``batch_size`` engine and the adaptive
+  ``byte_budget`` engine, which re-derives each layer's batch size from
+  that layer's actual feature widths);
 * layer-wise peak live-tensor memory is **strictly below** the full-graph
-  path for every model.
+  path for every model and both sizing modes.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ FULL_SIZES = dict(
     hidden=128,
     heads=4,
     repeats=3,
+    byte_budget=32 * 1024 * 1024,
 )
 SMOKE_SIZES = dict(
     scale=0.5,
@@ -70,6 +74,7 @@ SMOKE_SIZES = dict(
     hidden=128,
     heads=4,
     repeats=1,
+    byte_budget=2 * 1024 * 1024,
 )
 
 
@@ -135,25 +140,48 @@ def bench_model(name, factory, dataset, sizes, results):
         f"{name}: layer-wise logits diverged from the full-graph forward pass"
     )
 
+    adaptive = LayerWiseInference(
+        model, graph, batch_size=sizes["batch_size"], byte_budget=sizes["byte_budget"]
+    )
+
+    def adaptive_eval():
+        return adaptive.run(features)
+
+    assert np.array_equal(reference, adaptive_eval()), (
+        f"{name}: adaptive layer-wise logits diverged from the full-graph pass"
+    )
+
     full_mb = _peak_mb(full_eval)
     layer_mb = _peak_mb(layerwise_eval)
+    adaptive_mb = _peak_mb(adaptive_eval)
     assert layer_mb < full_mb, (
         f"{name}: layer-wise peak memory {layer_mb:.2f} MB is not below the "
         f"full-graph forward's {full_mb:.2f} MB"
     )
+    assert adaptive_mb < full_mb, (
+        f"{name}: adaptive layer-wise peak memory {adaptive_mb:.2f} MB is not "
+        f"below the full-graph forward's {full_mb:.2f} MB"
+    )
 
     full_s = _best_of(full_eval, sizes["repeats"])
     layer_s = _best_of(layerwise_eval, sizes["repeats"])
+    adaptive_s = _best_of(adaptive_eval, sizes["repeats"])
     results[name] = {
         "full_eval_ms": round(full_s * 1e3, 3),
         "layerwise_eval_ms": round(layer_s * 1e3, 3),
         "eval_slowdown": round(layer_s / full_s, 2) if full_s else float("inf"),
+        "adaptive_eval_ms": round(adaptive_s * 1e3, 3),
         "full_peak_mb": round(full_mb, 3),
         "layerwise_peak_mb": round(layer_mb, 3),
+        "adaptive_peak_mb": round(adaptive_mb, 3),
         "memory_reduction": round(full_mb / layer_mb, 2) if layer_mb else float("inf"),
         "batches_per_layer": engine.num_batches,
+        "adaptive_layer_batch_sizes": adaptive.layer_batch_sizes,
     }
-    print(f"parity: {name} layer-wise logits are bit-identical to the full pass")
+    print(
+        f"parity: {name} layer-wise logits (fixed and adaptive) are "
+        f"bit-identical to the full pass"
+    )
 
 
 def main(argv=None) -> int:
@@ -186,14 +214,16 @@ def main(argv=None) -> int:
         f"{sizes['num_layers']} layers, batch_size={sizes['batch_size']}"
     )
     header = (
-        f"{'model':<12} {'full_ms':>10} {'layer_ms':>10} "
-        f"{'full_MB':>9} {'layer_MB':>9} {'mem_red':>8}"
+        f"{'model':<12} {'full_ms':>10} {'layer_ms':>10} {'adapt_ms':>10} "
+        f"{'full_MB':>9} {'layer_MB':>9} {'adapt_MB':>9} {'mem_red':>8}"
     )
     print(header)
     for name, row in results.items():
         print(
             f"{name:<12} {row['full_eval_ms']:>10.3f} {row['layerwise_eval_ms']:>10.3f} "
+            f"{row['adaptive_eval_ms']:>10.3f} "
             f"{row['full_peak_mb']:>9.3f} {row['layerwise_peak_mb']:>9.3f} "
+            f"{row['adaptive_peak_mb']:>9.3f} "
             f"{row['memory_reduction']:>7.2f}x"
         )
 

@@ -16,6 +16,7 @@ The package is organized as:
 * :mod:`repro.sample`       — seeded neighbour sampling: mini-batch block chains,
                               prefetching data loaders, cooperative distributed sampling
 * :mod:`repro.training`     — full-batch trainers, label augmentation, Correct & Smooth
+* :mod:`repro.serving`      — online inference: micro-batching server, historical-embedding cache
 """
 
 __version__ = "0.2.0"
@@ -28,6 +29,7 @@ from repro import nn
 from repro import core
 from repro import datasets
 from repro import sample
+from repro import serving
 from repro import training
 from repro import utils
 
@@ -41,6 +43,7 @@ __all__ = [
     "core",
     "datasets",
     "sample",
+    "serving",
     "training",
     "utils",
 ]

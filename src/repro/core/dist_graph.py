@@ -23,7 +23,7 @@ Each handle owns:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,11 @@ from repro.partition.shard import (
     restrict_block_to_dst,
 )
 from repro.tensor.tensor import Tensor
+from repro.utils.lru import LRUDict
+
+#: distinct restriction keys a handle keeps prepared at once; small because
+#: each entry holds per-batch block grids (O(edges) each) for a whole sweep.
+RESTRICTION_CACHE_CAPACITY = 4
 
 
 class _DistributedGraphBase:
@@ -99,8 +104,16 @@ class DistributedGraph(_DistributedGraphBase):
         #: grids).  Restrictions are deterministic per graph, so reusing the
         #: prepared layers skips both the block restriction and the halo
         #: routing exchange on every call after the first — the distributed
-        #: analogue of the single-machine structural plan cache.
-        self.restriction_cache: Dict[Any, Any] = {}
+        #: analogue of the single-machine structural plan cache.  Bounded:
+        #: each entry pins a full list of ``(shard view, halo)`` pairs, so
+        #: the LRU drops the least recently used key (and thereby frees its
+        #: grids) once :data:`RESTRICTION_CACHE_CAPACITY` distinct keys have
+        #: been evaluated.  Eviction only costs re-preparation on a later
+        #: revisit — never correctness — but every worker must keep the same
+        #: capacity so the replicated control flow re-prepares collectively.
+        self.restriction_cache: MutableMapping[Any, Any] = LRUDict(
+            RESTRICTION_CACHE_CAPACITY
+        )
 
     # -- graph-like interface ------------------------------------------- #
     @property

@@ -19,12 +19,14 @@ from repro.sample.distributed import (
 )
 from repro.sample.inference import (
     LayerWiseInference,
+    check_layered_model,
     distributed_layerwise_logits,
     layerwise_logits,
 )
 
 __all__ = [
     "LayerWiseInference",
+    "check_layered_model",
     "layerwise_logits",
     "distributed_layerwise_logits",
     "InEdgeIndex",

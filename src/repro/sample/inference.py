@@ -39,7 +39,7 @@ each batch's halo exchange fetches only the sources feeding that batch.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -54,8 +54,13 @@ from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
 
 
-def _check_layered_model(model) -> int:
-    """Validate that ``model`` exposes the per-layer hook; return its depth."""
+def check_layered_model(model) -> int:
+    """Validate that ``model`` exposes the per-layer hook; return its depth.
+
+    Shared by the inference engines here and by
+    :class:`repro.serving.InferenceServer` — anything driving the model
+    through ``forward_layer(index, graph, x)`` one layer at a time.
+    """
     num_layers = getattr(model, "num_layers", None)
     if num_layers is None or not hasattr(model, "forward_layer"):
         raise ValueError(
@@ -63,6 +68,14 @@ def _check_layered_model(model) -> int:
             "forward_layer(index, graph, x) (all repro.nn models do)"
         )
     return int(num_layers)
+
+
+def _conv_out_width(conv, fallback: int) -> int:
+    """Output width of one conv layer (heads folded in), or ``fallback``."""
+    out = getattr(conv, "out_features", None)
+    if out is None:
+        return fallback
+    return int(out) * int(getattr(conv, "num_heads", 1))
 
 
 class LayerWiseInference:
@@ -86,13 +99,24 @@ class LayerWiseInference:
     batch_size:
         Destination nodes per inference batch.  Peak memory scales with the
         two full-width layer matrices plus one batch's intermediates; smaller
-        batches trade throughput for memory.
+        batches trade throughput for memory.  Ignored when ``byte_budget``
+        is set.
     num_workers:
         Background sampling threads (``0`` samples synchronously).
     max_resident:
         Bound on simultaneously materialized sampled batches, enforced by the
         loader's prefetch discipline (the batch being consumed plus in-flight
         prefetches).
+    byte_budget:
+        Adaptive batch sizing: a per-batch live-tensor byte target.  Each
+        layer's batch size is derived at sweep start from the layer's actual
+        feature widths — per destination row the batch holds roughly its
+        gathered input rows (``(1 + avg_degree) * in_width``) plus its output
+        row (``out_width``), each ``itemsize`` bytes — clamped to
+        ``[1, num_nodes]``.  Wide early layers get small batches, narrow
+        later layers get large ones, keeping per-batch memory flat instead of
+        letting one fixed ``batch_size`` be sized for the worst layer.  The
+        chosen sizes are recorded in :attr:`layer_batch_sizes`.
 
     Notes
     -----
@@ -109,33 +133,73 @@ class LayerWiseInference:
         batch_size: int = 1024,
         num_workers: int = 1,
         max_resident: int = 2,
+        byte_budget: Optional[int] = None,
     ):
         self.model = model
         self.graph = graph
-        self.num_layers = _check_layered_model(model)
+        self.num_layers = check_layered_model(model)
         self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.byte_budget = (
+            None if byte_budget is None
+            else check_positive_int(byte_budget, "byte_budget")
+        )
+        self.num_workers = num_workers
+        self.max_resident = max_resident
         # The explicit seed keeps construction from consuming the library-wide
         # RNG stream (fanout=-1 draws nothing, so the value is irrelevant).
-        sampler = NeighborSampler(graph, [-1], seed=0)
-        self.loader = MiniBatchDataLoader(
-            sampler,
-            np.arange(graph.num_nodes, dtype=np.int64),
-            batch_size=self.batch_size,
-            shuffle=False,
-            drop_last=False,
-            num_workers=num_workers,
-            max_resident=max_resident,
+        self._sampler = NeighborSampler(graph, [-1], seed=0)
+        # One loader per distinct batch size, created lazily: adaptive runs
+        # typically share a loader across same-width layers, and identical
+        # batch boundaries are what lets the structural plan cache hit.
+        self._loaders: Dict[int, MiniBatchDataLoader] = {}
+        #: per-layer batch sizes chosen by the most recent :meth:`run`.
+        self.layer_batch_sizes: List[int] = []
+        self.loader = self._loader_for(self.batch_size)
+
+    def _loader_for(self, batch_size: int) -> MiniBatchDataLoader:
+        loader = self._loaders.get(batch_size)
+        if loader is None:
+            loader = MiniBatchDataLoader(
+                self._sampler,
+                np.arange(self.graph.num_nodes, dtype=np.int64),
+                batch_size=batch_size,
+                shuffle=False,
+                drop_last=False,
+                num_workers=self.num_workers,
+                max_resident=self.max_resident,
+            )
+            self._loaders[batch_size] = loader
+        return loader
+
+    def _adaptive_batch_size(self, layer: int, in_width: int, itemsize: int) -> int:
+        """Batch size keeping one batch's live tensors near ``byte_budget``.
+
+        Per destination row a batch materializes its gathered full-
+        neighbourhood input rows — ``(1 + avg_degree) * in_width`` values on
+        average — plus its ``out_width`` output row.
+        """
+        convs = getattr(self.model, "convs", None)
+        out_width = (
+            _conv_out_width(convs[layer], in_width)
+            if convs is not None and layer < len(convs)
+            else in_width
         )
+        num_nodes = self.graph.num_nodes
+        avg_degree = self.graph.num_edges / max(num_nodes, 1)
+        per_row = itemsize * ((1.0 + avg_degree) * in_width + out_width)
+        size = int(self.byte_budget // max(per_row, 1.0))
+        return max(1, min(size, num_nodes))
 
     @property
     def num_batches(self) -> int:
-        """Batches per layer (every layer iterates the same batch sequence)."""
+        """Batches per layer at the fixed ``batch_size`` (adaptive runs vary
+        per layer — see :attr:`layer_batch_sizes`)."""
         return len(self.loader)
 
     @property
     def peak_resident_batches(self) -> int:
         """High-water mark of simultaneously materialized sampled batches."""
-        return self.loader.peak_resident_batches
+        return max(ldr.peak_resident_batches for ldr in self._loaders.values())
 
     def run(self, features: np.ndarray) -> np.ndarray:
         """Infer every node's output representation.
@@ -164,7 +228,15 @@ class LayerWiseInference:
                     raise ValueError(
                         f"features has {h.shape[0]} rows but graph has {num_nodes} nodes"
                     )
+                self.layer_batch_sizes = []
                 for layer in range(self.num_layers):
+                    if self.byte_budget is None:
+                        loader = self.loader
+                    else:
+                        loader = self._loader_for(self._adaptive_batch_size(
+                            layer, h.shape[1], h.data.dtype.itemsize
+                        ))
+                    self.layer_batch_sizes.append(loader.batch_size)
                     out: Optional[Tensor] = None
                     # Point the loader's feature-fetch stage at the current
                     # layer's input matrix: each batch's input rows are then
@@ -172,16 +244,20 @@ class LayerWiseInference:
                     # batch's layer compute.  ``h`` is stable for the whole
                     # per-layer sweep, so background gathers read a frozen
                     # matrix.
-                    self.loader.set_features(h.data)
-                    for batch in self.loader.iter_epoch(layer):
-                        block = batch.pipeline.layer_block(0)
-                        x = Tensor(batch.input_features(h.data))
-                        y = model.forward_layer(layer, block, x).data
-                        if out is None:
-                            out = Tensor(np.empty((num_nodes, y.shape[1]), dtype=y.dtype))
-                        out.data[block.dst_nodes] = y
+                    loader.set_features(h.data)
+                    try:
+                        for batch in loader.iter_epoch(layer):
+                            block = batch.pipeline.layer_block(0)
+                            x = Tensor(batch.input_features(h.data))
+                            y = model.forward_layer(layer, block, x).data
+                            if out is None:
+                                out = Tensor(
+                                    np.empty((num_nodes, y.shape[1]), dtype=y.dtype)
+                                )
+                            out.data[block.dst_nodes] = y
+                    finally:
+                        loader.set_features(None)
                     h = out
-                self.loader.set_features(None)
                 return h.data
         finally:
             if was_training:
@@ -195,6 +271,7 @@ def layerwise_logits(
     batch_size: int = 1024,
     num_workers: int = 1,
     max_resident: int = 2,
+    byte_budget: Optional[int] = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`LayerWiseInference`."""
     engine = LayerWiseInference(
@@ -203,6 +280,7 @@ def layerwise_logits(
         batch_size=batch_size,
         num_workers=num_workers,
         max_resident=max_resident,
+        byte_budget=byte_budget,
     )
     return engine.run(features)
 
@@ -257,7 +335,7 @@ def distributed_layerwise_logits(
             "distributed layer-wise inference supports homogeneous "
             "DistributedGraph handles only"
         )
-    num_layers = _check_layered_model(model)
+    num_layers = check_layered_model(model)
     batch_size = check_positive_int(batch_size, "batch_size")
     shard = dist_graph.shard
     num_total = dist_graph.num_total_nodes

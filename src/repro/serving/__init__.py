@@ -1,0 +1,10 @@
+"""Online inference serving: micro-batching server + historical-embedding cache.
+
+See ``docs/serving.md`` for the request lifecycle, micro-batch window
+semantics, and the cache-consistency rules.
+"""
+
+from repro.serving.cache import EmbeddingCache
+from repro.serving.server import InferenceServer
+
+__all__ = ["EmbeddingCache", "InferenceServer"]

@@ -1,0 +1,173 @@
+"""Historical-embedding cache: byte-bounded LRU of per-node layer activations.
+
+The serving hot path recomputes a request's full receptive field from raw
+features on every batch.  But in ``eval()`` mode every activation is a pure
+function of ``(model version, graph, node id, layer)`` — BatchNorm applies
+running statistics, Dropout is the identity, and every compacted block
+preserves complete in-neighbourhoods — so the layer-``l`` activation of node
+``v`` computed inside *any* request batch is **bit-identical** to the value
+any other batch (or the full-graph forward) would compute.  That makes
+activations safely memoizable: :class:`EmbeddingCache` keeps an LRU of rows
+keyed by ``(version, layer, node id)``, and the server truncates a request's
+receptive-field walk at the deepest layer whose entire required node set is
+cached (see :meth:`repro.serving.InferenceServer.predict`), feeding the
+cached rows in as the partial-depth pipeline's input.
+
+Layer indices follow the MFG mask convention: layer ``l`` holds the *input*
+activations of conv layer ``l``; layer ``num_layers`` holds the logits, so a
+fully cached seed set skips compute entirely.  Layer ``0`` (raw features) is
+never cached — the server already holds the feature matrix.
+
+Consistency is by **explicit version bump**: mutating the model (or graph)
+without calling :meth:`bump_version` is a contract violation.  A bump drops
+every entry eagerly (their memory is reclaimed immediately) and advances the
+version stamp in the key, so even a racing reader can never mix activations
+across versions.
+
+All methods are lock-protected; the server mutates the cache from its single
+worker thread while ``stats()`` may be read from any client thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class EmbeddingCache:
+    """Byte-bounded LRU of per-node activation rows.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Bound on the summed ``nbytes`` of cached rows.  Inserting beyond it
+        evicts least-recently-used rows until the cache fits again (a single
+        batch larger than the whole capacity simply does not stick).
+
+    Notes
+    -----
+    Lookups are all-or-nothing per ``(layer, node set)``: partial coverage
+    returns ``None`` (counted as misses for the absent rows), because a
+    partially cached frontier cannot truncate the receptive-field walk —
+    the missing rows would still need their full subtree.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = check_positive_int(capacity_bytes, "capacity_bytes")
+        self.version = 1
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.current_bytes = 0
+        self._lock = threading.Lock()
+        self._rows: "OrderedDict[Tuple[int, int, int], np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingCache(version={self.version}, rows={len(self._rows)}, "
+            f"bytes={self.current_bytes}/{self.capacity_bytes})"
+        )
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, layer: int, node_ids: np.ndarray) -> Optional[np.ndarray]:
+        """All current-version layer-``layer`` rows of ``node_ids``, or ``None``.
+
+        On full coverage every touched row is marked most-recently used and
+        the stacked ``(len(node_ids), width)`` matrix is returned (a fresh
+        array — callers may feed it straight into the forward pass).  Any
+        missing row makes the whole lookup a miss.
+        """
+        version = self.version
+        with self._lock:
+            rows = self._rows
+            found = []
+            missing = 0
+            for node in node_ids:
+                row = rows.get((version, layer, int(node)))
+                if row is None:
+                    missing += 1
+                else:
+                    found.append(row)
+            if missing:
+                self.misses += missing
+                return None
+            for node in node_ids:
+                rows.move_to_end((version, layer, int(node)))
+            self.hits += len(found)
+            if not found:
+                return None
+            return np.stack(found, axis=0)
+
+    def put(self, layer: int, node_ids: np.ndarray, values: np.ndarray) -> None:
+        """Insert ``values[i]`` as layer-``layer`` activation of ``node_ids[i]``.
+
+        Rows are copied (the caller's matrix stays untouched by later
+        evictions); already-present rows are refreshed, not re-stored.
+        """
+        if len(node_ids) != len(values):
+            raise ValueError(
+                f"node_ids has {len(node_ids)} entries but values has "
+                f"{len(values)} rows"
+            )
+        version = self.version
+        with self._lock:
+            rows = self._rows
+            for node, value in zip(node_ids, values):
+                key = (version, layer, int(node))
+                if key in rows:
+                    rows.move_to_end(key)
+                    continue
+                row = np.array(value, copy=True)
+                rows[key] = row
+                self.current_bytes += row.nbytes
+                self.insertions += 1
+            while self.current_bytes > self.capacity_bytes and rows:
+                _, evicted = rows.popitem(last=False)
+                self.current_bytes -= evicted.nbytes
+                self.evictions += 1
+
+    def bump_version(self) -> int:
+        """Invalidate everything: advance the version stamp, drop all rows.
+
+        Call after *any* model (or graph) mutation; returns the new version.
+        Counters other than ``current_bytes`` survive, so telemetry keeps
+        accumulating across versions.
+        """
+        with self._lock:
+            self.version += 1
+            self.invalidations += 1
+            self._rows.clear()
+            self.current_bytes = 0
+            return self.version
+
+    def clear(self) -> None:
+        """Drop all rows without advancing the version (e.g. between bench phases)."""
+        with self._lock:
+            self._rows.clear()
+            self.current_bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Telemetry snapshot: hit/miss/insert/evict counters and byte usage."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "hits": self.hits,
+                "misses": self.misses,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rows": len(self._rows),
+                "current_bytes": self.current_bytes,
+                "capacity_bytes": self.capacity_bytes,
+            }

@@ -1,0 +1,418 @@
+"""Long-lived online inference server: micro-batched, cache-truncated predicts.
+
+:class:`InferenceServer` is the serving half of the roadmap's north star: a
+process-resident object that loads a trained model plus its graph and feature
+matrix once, then answers ``predict(node_ids)`` requests from any number of
+concurrent client threads.  The request hot path is the paper's core trick
+run per batch: only the requested seeds' receptive fields are compiled
+(:func:`repro.graph.mfg.build_mfg_pipeline`) and executed, never a full-graph
+forward.
+
+Three mechanisms shape the latency/throughput profile:
+
+**Micro-batching.**  Requests land on a bounded queue consumed by one worker
+thread.  The worker takes the first request, then keeps draining the queue
+until ``window_ms`` elapses or ``max_batch_seeds`` requested seeds have
+accumulated; the coalesced requests are deduplicated into one ascending seed
+set, compiled into one pipeline, executed once, and the per-seed logit rows
+are scattered back to each request's future.  ``window_ms=0`` disables
+coalescing (strictly one request per execution — the sequential baseline the
+serving benchmark compares against).
+
+**Plan warmth.**  Pipeline blocks resolve their :class:`~repro.tensor.
+edge_plan.EdgePlan` through the shared structural :class:`~repro.tensor.
+edge_plan.PlanCache`, so a repeated request topology (same coalesced seed
+set) pays **zero** plan builds — asserted in ``tests/test_serving.py`` and
+visible in :meth:`InferenceServer.stats` under ``"plan_cache"``.
+
+**Historical-embedding cache.**  With ``cache_bytes`` set, every computed
+activation row is inserted into an :class:`~repro.serving.cache.
+EmbeddingCache` keyed by ``(version, layer, node)``.  Each request batch
+probes the cache from the deepest layer down during its receptive-field walk
+and truncates the pipeline at the deepest fully-cached frontier
+(``stop_at`` on :func:`build_mfg_pipeline`); a batch whose seeds all have
+cached logits never builds a pipeline at all.  Cached rows are bit-identical
+to recomputation (eval-mode activations are pure per-row functions), so
+served logits stay **bit-identical** to ``model(graph, features)`` rows with
+the cache on, off, cold, or warm.
+
+Model updates go through :meth:`update`, which runs the mutation *on the
+worker thread* (serialized between batches) and bumps the cache version —
+requests enqueued before the update see the old weights and cache entries,
+requests after see the new ones, and no batch ever mixes the two.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.mfg import build_mfg_pipeline
+from repro.sample.inference import check_layered_model
+from repro.serving.cache import EmbeddingCache
+from repro.tensor import no_grad
+from repro.tensor.edge_plan import shared_plan_cache
+from repro.tensor.tensor import Tensor
+from repro.utils.validation import check_1d_int_array, check_positive_int
+
+#: queue sentinel shutting the worker down after all earlier items are served.
+_STOP = object()
+
+
+class _Predict:
+    """One enqueued request: the validated ids and the future to resolve."""
+
+    __slots__ = ("ids", "future")
+
+    def __init__(self, ids: np.ndarray):
+        self.ids = ids
+        self.future: "Future[np.ndarray]" = Future()
+
+
+class _Control:
+    """An enqueued model-update: runs on the worker thread, bumps the version."""
+
+    __slots__ = ("apply_fn", "future")
+
+    def __init__(self, apply_fn: Optional[Callable]):
+        self.apply_fn = apply_fn
+        self.future: "Future[int]" = Future()
+
+
+class InferenceServer:
+    """Serve ``predict(node_ids)`` over a trained model with micro-batching.
+
+    Parameters
+    ----------
+    model:
+        A trained module exposing ``num_layers`` and ``forward_layer(index,
+        graph, x)`` (every ``repro.nn`` model).  Switched to ``eval()`` on
+        :meth:`start` and kept there; mutate it only through :meth:`update`.
+    graph:
+        The full homogeneous :class:`~repro.graph.graph.Graph` (hetero
+        serving would need per-relation pipelines — not supported yet).
+    features:
+        ``(num_nodes, in_features)`` input feature matrix, read-only.
+    window_ms:
+        Micro-batch coalescing window in milliseconds: after the first
+        request of a batch arrives, later requests joining within the window
+        ride the same execution.  ``0`` serves strictly one request per
+        execution.
+    max_batch_seeds:
+        Cap on requested (pre-deduplication) seeds coalesced into one batch;
+        reaching it closes the window early.
+    max_pending:
+        Bound on queued requests; :meth:`predict` blocks (up to its timeout)
+        when the queue is full — closed-loop backpressure, not load shedding.
+    cache_bytes:
+        Byte capacity of the historical-embedding cache; ``None`` (default)
+        disables activation caching entirely.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.datasets import make_sbm_dataset
+    >>> from repro.nn.models import GraphSageNet
+    >>> from repro.serving import InferenceServer
+    >>> from repro.utils.seed import set_seed
+    >>> set_seed(0)
+    >>> ds = make_sbm_dataset(name="s", num_nodes=80, num_classes=3,
+    ...                       feature_dim=8, p_in=0.1, p_out=0.02)
+    >>> model = GraphSageNet(8, 16, 3, num_layers=2, dropout=0.0)
+    >>> with InferenceServer(model, ds.graph, ds.features,
+    ...                      cache_bytes=1 << 20) as server:
+    ...     logits = server.predict([3, 1, 4, 1])
+    >>> logits.shape
+    (4, 3)
+    """
+
+    def __init__(
+        self,
+        model,
+        graph: Graph,
+        features: np.ndarray,
+        window_ms: float = 2.0,
+        max_batch_seeds: int = 1024,
+        max_pending: int = 4096,
+        cache_bytes: Optional[int] = None,
+    ):
+        num_layers = check_layered_model(model)
+        if not isinstance(graph, Graph):
+            raise ValueError(
+                "InferenceServer serves homogeneous Graph instances only"
+            )
+        features = np.asarray(features)
+        if features.ndim != 2 or features.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"features must be 2-D with {graph.num_nodes} rows, "
+                f"got shape {features.shape}"
+            )
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        self.model = model
+        self.graph = graph
+        self.features = features
+        self.num_layers = num_layers
+        self.window_s = float(window_ms) / 1e3
+        self.max_batch_seeds = check_positive_int(max_batch_seeds, "max_batch_seeds")
+        self.cache: Optional[EmbeddingCache] = (
+            EmbeddingCache(cache_bytes) if cache_bytes is not None else None
+        )
+        self._version_no_cache = 1
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=check_positive_int(max_pending, "max_pending")
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._accepting = False
+        self._stopped = False
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._served_requests = 0
+        self._batches = 0
+        self._seeds_executed = 0
+        self._max_requests_in_batch = 0
+        self._fast_path_batches = 0
+        self._updates = 0
+        #: how deep request batches truncated: input_layer -> batch count
+        #: (0 = full-depth recompute, ``num_layers`` = all-logits fast path).
+        self._frontier_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceServer":
+        """Spawn the serving worker (idempotent until :meth:`stop`)."""
+        if self._stopped:
+            raise RuntimeError("InferenceServer cannot be restarted after stop()")
+        if self._thread is None:
+            self.model.eval()
+            self._accepting = True
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="inference-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain already-queued requests, then stop the worker."""
+        if self._thread is None or self._stopped:
+            self._stopped = True
+            return
+        self._accepting = False
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+        self._stopped = True
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._accepting and self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # client API
+    # ------------------------------------------------------------------ #
+    def predict_async(self, node_ids, timeout: Optional[float] = None) -> "Future[np.ndarray]":
+        """Enqueue a request; the future resolves to its ``(len(ids), C)`` logits.
+
+        Rows follow the request's id order (duplicates included).  Blocks
+        only when the request queue is full (backpressure), up to
+        ``timeout`` seconds.
+        """
+        ids = check_1d_int_array(node_ids, "node_ids", max_value=self.graph.num_nodes)
+        if not self.running:
+            raise RuntimeError("InferenceServer is not running (call start())")
+        item = _Predict(ids)
+        if ids.size == 0:
+            item.future.set_result(np.empty((0, 0), dtype=self.features.dtype))
+            return item.future
+        try:
+            self._queue.put(item, timeout=timeout)
+        except queue.Full:
+            raise RuntimeError(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        with self._stats_lock:
+            self._requests += 1
+        return item.future
+
+    def predict(self, node_ids, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Blocking :meth:`predict_async`; returns the logit rows."""
+        return self.predict_async(node_ids, timeout=timeout).result(timeout)
+
+    def update(self, apply_fn: Optional[Callable] = None,
+               timeout: Optional[float] = 30.0) -> int:
+        """Apply a model mutation on the worker thread and invalidate the cache.
+
+        ``apply_fn(model)`` (if given) runs serialized between batches:
+        requests enqueued before this call are served by the old model and
+        cache version, requests after by the new ones.  Returns the new
+        version number.  ``update()`` with no function is a pure version
+        bump — e.g. after swapping the feature matrix's contents in place.
+        """
+        if not self.running:
+            raise RuntimeError("InferenceServer is not running (call start())")
+        item = _Control(apply_fn)
+        self._queue.put(item, timeout=timeout)
+        return item.future.result(timeout)
+
+    def bump_version(self, timeout: Optional[float] = 30.0) -> int:
+        """Invalidate cached activations without touching the model."""
+        return self.update(None, timeout=timeout)
+
+    @property
+    def version(self) -> int:
+        """Current model/cache version (bumped by every :meth:`update`)."""
+        return self.cache.version if self.cache is not None else self._version_no_cache
+
+    def stats(self) -> dict:
+        """Telemetry snapshot: micro-batching, frontier, and cache counters."""
+        with self._stats_lock:
+            snapshot = {
+                "requests": self._requests,
+                "served_requests": self._served_requests,
+                "batches": self._batches,
+                "seeds_executed": self._seeds_executed,
+                "max_requests_in_batch": self._max_requests_in_batch,
+                "fast_path_batches": self._fast_path_batches,
+                "updates": self._updates,
+                "frontier_layers": dict(sorted(self._frontier_counts.items())),
+                "queue_depth": self._queue.qsize(),
+            }
+        snapshot["version"] = self.version
+        snapshot["embedding_cache"] = (
+            self.cache.stats() if self.cache is not None else None
+        )
+        snapshot["plan_cache"] = shared_plan_cache().stats()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # worker
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self) -> None:
+        stop = False
+        carried: Optional[_Control] = None
+        while not stop:
+            if carried is not None:
+                item, carried = carried, None
+            else:
+                item = self._queue.get()
+            if item is _STOP:
+                break
+            if isinstance(item, _Control):
+                self._handle_control(item)
+                continue
+            batch: List[_Predict] = [item]
+            if self.window_s > 0:
+                deadline = time.perf_counter() + self.window_s
+                seeds = len(item.ids)
+                while seeds < self.max_batch_seeds:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stop = True
+                        break
+                    if isinstance(nxt, _Control):
+                        # Updates are barriers: close the batch, run it on the
+                        # old version, then apply the control next iteration.
+                        carried = nxt
+                        break
+                    batch.append(nxt)
+                    seeds += len(nxt.ids)
+            self._execute(batch)
+
+    def _handle_control(self, item: _Control) -> None:
+        try:
+            if item.apply_fn is not None:
+                item.apply_fn(self.model)
+                self.model.eval()
+            if self.cache is not None:
+                version = self.cache.bump_version()
+            else:
+                self._version_no_cache += 1
+                version = self._version_no_cache
+            with self._stats_lock:
+                self._updates += 1
+            item.future.set_result(version)
+        except BaseException as exc:  # propagate to the waiting client
+            item.future.set_exception(exc)
+
+    def _execute(self, batch: List[_Predict]) -> None:
+        try:
+            all_ids = (
+                batch[0].ids if len(batch) == 1
+                else np.concatenate([item.ids for item in batch])
+            )
+            seeds, inverse = np.unique(all_ids, return_inverse=True)
+            logits, input_layer = self._compute(seeds)
+            offset = 0
+            for item in batch:
+                n = len(item.ids)
+                item.future.set_result(logits[inverse[offset:offset + n]])
+                offset += n
+            with self._stats_lock:
+                self._served_requests += len(batch)
+                self._batches += 1
+                self._seeds_executed += len(seeds)
+                self._max_requests_in_batch = max(
+                    self._max_requests_in_batch, len(batch)
+                )
+                if input_layer == self.num_layers:
+                    self._fast_path_batches += 1
+                self._frontier_counts[input_layer] = (
+                    self._frontier_counts.get(input_layer, 0) + 1
+                )
+        except BaseException as exc:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+
+    def _compute(self, seeds: np.ndarray):
+        """Logits of the ascending unique ``seeds``; returns ``(rows, frontier)``."""
+        cache = self.cache
+        model = self.model
+        num_layers = self.num_layers
+        with no_grad():
+            if cache is not None:
+                rows = cache.lookup(num_layers, seeds)
+                if rows is not None:
+                    return rows, num_layers
+            frontier: dict = {}
+
+            def stop_at(layer: int, nodes: np.ndarray) -> bool:
+                if cache is None:
+                    return False
+                rows = cache.lookup(layer, nodes)
+                if rows is None:
+                    return False
+                frontier["rows"] = rows
+                return True
+
+            pipeline = build_mfg_pipeline(self.graph, seeds, num_layers,
+                                          stop_at=stop_at)
+            start = pipeline.input_layer
+            if start == 0:
+                x = Tensor(self.features[pipeline.input_nodes])
+            else:
+                x = Tensor(frontier["rows"])
+            for offset, layer in enumerate(range(start, num_layers)):
+                block = pipeline.layer_block(offset)
+                x = model.forward_layer(layer, block, x)
+                if cache is not None:
+                    cache.put(layer + 1, block.dst_nodes, x.data)
+            return x.data, start

@@ -415,6 +415,7 @@ class PlanCache:
         self.capacity = int(capacity)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._plans: "OrderedDict[bytes, EdgePlan]" = OrderedDict()
 
@@ -446,6 +447,7 @@ class PlanCache:
             self._plans[key] = plan
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
+                self.evictions += 1
         return plan
 
     def clear(self) -> None:
@@ -453,6 +455,24 @@ class PlanCache:
             self._plans.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters and occupancy, as a plain dict.
+
+        Surfaced (alongside the embedding-cache counters) in the serving
+        telemetry — ``InferenceServer.stats()["plan_cache"]`` — so a running
+        service can prove its repeated request topologies pay zero plan
+        builds.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._plans),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
         with self._lock:

@@ -167,6 +167,14 @@ class MatMul(Function):
                 f"matmul expects a >=2-D left operand, got shape {a.data.shape}"
             )
         self.save_for_backward(a.data, b.data)
+        if a.data.ndim == 2 and a.data.shape[0] == 1:
+            # BLAS routes single-row products to gemv, whose accumulation
+            # order differs from gemm's — so a 1-row batch would produce a
+            # row bitwise different from the same row inside a larger batch,
+            # breaking the library's restricted-forward bit-parity contract
+            # (MFG pipelines and the serving path run arbitrary batch
+            # sizes, including 1).  Pad to two rows to stay on gemm.
+            return (np.concatenate([a.data, a.data], axis=0) @ b.data)[:1]
         return a.data @ b.data
 
     def backward(self, grad_out):

@@ -10,6 +10,7 @@ from repro.utils.seed import (
     derive_rng,
 )
 from repro.utils.logging import get_logger
+from repro.utils.lru import LRUDict
 from repro.utils.timing import Timer, WorkerTimer
 from repro.utils.validation import (
     check_1d_int_array,
@@ -27,6 +28,7 @@ __all__ = [
     "hash_u64",
     "derive_rng",
     "get_logger",
+    "LRUDict",
     "Timer",
     "WorkerTimer",
     "check_1d_int_array",

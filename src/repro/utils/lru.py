@@ -1,0 +1,69 @@
+"""A small bounded mapping with least-recently-used eviction.
+
+Several subsystems memoize expensive prepared state under a structural key —
+the distributed restriction grids of
+:func:`repro.sample.inference.distributed_layerwise_logits` being the
+motivating case: each ``("layerwise", batch_size)`` key pins a full list of
+``(shard view, halo)`` pairs, so an unbounded ``dict`` accrues one graph-sized
+entry per batch size ever evaluated.  :class:`LRUDict` is a drop-in
+replacement: plain mapping semantics (``[]``, ``get``, ``setdefault``, ``in``,
+``len``), with reads refreshing recency and inserts evicting the
+least-recently-used entry once ``capacity`` is exceeded — dropping the last
+reference so the evicted value's memory is actually reclaimable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator, MutableMapping
+
+from repro.utils.validation import check_positive_int
+
+
+class LRUDict(MutableMapping):
+    """Mapping bounded to ``capacity`` entries with LRU eviction.
+
+    Reads (``[]``, ``get``, ``setdefault`` on a present key) mark the entry
+    most-recently used; inserting a new key beyond capacity evicts the least
+    recently used entry.  :attr:`evictions` counts how many entries have been
+    dropped (telemetry for tests and server stats).
+
+    Not thread-safe; every current user mutates it from a single consumer
+    (the worker's evaluation loop, the serving worker thread).
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self.evictions = 0
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __delitem__(self, key: Any) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUDict(capacity={self.capacity}, size={len(self._data)}, "
+            f"evictions={self.evictions})"
+        )

@@ -286,6 +286,32 @@ class TestMessageFlowMasksWithPlan:
             np.testing.assert_array_equal(a, b)
 
 
+class TestPlanCacheStats:
+    def test_counters_track_hits_misses_evictions(self):
+        cache = edge_plan.PlanCache(capacity=2)
+        a = (np.array([0, 1]), np.array([1, 0]))
+        b = (np.array([0, 2]), np.array([2, 1]))
+        c = (np.array([1, 2]), np.array([0, 0]))
+        cache.get(*a, 3, 3)
+        cache.get(*a, 3, 3)
+        cache.get(*b, 3, 3)
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1, "misses": 2, "evictions": 0, "size": 2, "capacity": 2,
+        }
+        cache.get(*c, 3, 3)  # third structure evicts the LRU entry (a)
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["size"] == 2
+        cache.clear()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "capacity": 2,
+        }
+
+    def test_shared_cache_exposes_stats(self):
+        stats = edge_plan.shared_plan_cache().stats()
+        assert set(stats) == {"hits", "misses", "evictions", "size", "capacity"}
+
+
 class TestBuildCounter:
     def test_graph_plan_is_built_once(self, sbm_graph):
         before = edge_plan.build_counter

@@ -16,6 +16,9 @@ The subsystem contract under test (``repro/sample/inference.py``):
 
 from __future__ import annotations
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
@@ -37,6 +40,7 @@ from repro.sample import (
 from repro.tensor import Tensor, no_grad
 from repro.tensor import edge_plan as edge_plan_mod
 from repro.training.trainer import FullBatchTrainer, TrainingConfig
+from repro.utils.lru import LRUDict
 from repro.utils.seed import set_seed
 
 
@@ -209,6 +213,88 @@ def test_engine_exposes_loader_bound(dataset):
 
 
 # --------------------------------------------------------------------------- #
+# adaptive batch sizing (byte_budget)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["sage_mean", "gat"])
+def test_adaptive_byte_budget_parity(dataset, kind):
+    set_seed(0)
+    model = MODEL_FACTORIES[kind](dataset)
+    reference = _full_logits(model, dataset.graph, dataset.features)
+    engine = LayerWiseInference(
+        model, dataset.graph, batch_size=64, byte_budget=64 * 1024
+    )
+    got = engine.run(dataset.features)
+    np.testing.assert_array_equal(got, reference)
+    assert len(engine.layer_batch_sizes) == model.num_layers
+    assert all(
+        1 <= bs <= dataset.graph.num_nodes for bs in engine.layer_batch_sizes
+    )
+
+
+def test_adaptive_budget_extremes(dataset):
+    set_seed(0)
+    model = MODEL_FACTORIES["sage_max"](dataset)
+    reference = _full_logits(model, dataset.graph, dataset.features)
+    # A one-byte budget floors every layer at single-node batches…
+    tiny = LayerWiseInference(model, dataset.graph, byte_budget=1)
+    np.testing.assert_array_equal(tiny.run(dataset.features), reference)
+    assert tiny.layer_batch_sizes == [1] * model.num_layers
+    # …and a giant budget ceilings at one whole-graph batch per layer.
+    huge = LayerWiseInference(model, dataset.graph, byte_budget=1 << 30)
+    np.testing.assert_array_equal(huge.run(dataset.features), reference)
+    assert huge.layer_batch_sizes == [dataset.graph.num_nodes] * model.num_layers
+
+
+def test_adaptive_sizes_track_layer_widths(dataset):
+    """Wider layer inputs get smaller batches under the same budget."""
+    set_seed(0)
+    model = MODEL_FACTORIES["sage_mean"](dataset)  # widths 12 -> 16 -> 16
+    engine = LayerWiseInference(model, dataset.graph, byte_budget=32 * 1024)
+    engine.run(dataset.features)
+    sizes = engine.layer_batch_sizes
+    assert sizes[0] > sizes[1]  # layer 0 reads 12-wide rows, layer 1 16-wide
+    assert sizes[2] >= sizes[1]  # same input width, narrower (4-class) output
+
+
+def test_adaptive_rejects_bad_budget(dataset):
+    set_seed(0)
+    model = MODEL_FACTORIES["sage_mean"](dataset)
+    with pytest.raises(ValueError, match="byte_budget"):
+        LayerWiseInference(model, dataset.graph, byte_budget=0)
+
+
+def test_layerwise_logits_byte_budget_passthrough(dataset):
+    set_seed(0)
+    model = MODEL_FACTORIES["sage_mean"](dataset)
+    reference = _full_logits(model, dataset.graph, dataset.features)
+    got = layerwise_logits(
+        model, dataset.graph, dataset.features, byte_budget=48 * 1024
+    )
+    np.testing.assert_array_equal(got, reference)
+
+
+# --------------------------------------------------------------------------- #
+# bounded restriction cache
+# --------------------------------------------------------------------------- #
+def test_lru_dict_semantics():
+    lru = LRUDict(capacity=2)
+    lru["a"] = 1
+    lru["b"] = 2
+    assert lru["a"] == 1  # refreshes recency: "b" is now LRU
+    lru["c"] = 3
+    assert "b" not in lru
+    assert lru.evictions == 1
+    assert lru.setdefault("a", 99) == 1
+    assert lru.get("missing") is None
+    assert sorted(lru) == ["a", "c"]
+    assert len(lru) == 2
+    del lru["a"]
+    assert "a" not in lru
+    with pytest.raises(ValueError, match="capacity"):
+        LRUDict(0)
+
+
+# --------------------------------------------------------------------------- #
 # trainer integration
 # --------------------------------------------------------------------------- #
 def test_evaluate_layerwise_is_dropin(dataset):
@@ -369,6 +455,43 @@ def test_distributed_layerwise_restriction_cache_reused(dataset):
     for extra_setup_bytes, cached_grids in result.results:
         assert extra_setup_bytes == 0
         assert cached_grids == num_batches
+
+
+def test_restriction_cache_lru_eviction_frees_grids(dataset):
+    """Beyond capacity, the bounded restriction cache drops the oldest
+    prepared grids — and dropping them actually releases the memory (no
+    stray strong references keep the shard views alive)."""
+    dataset.attach_to_graph()
+    template = _fixed_model(dataset, "sage")
+    weights = _weights_of(template)
+    book = PartitionBook(partition_graph(dataset.graph, 2, seed=0), 2)
+    shards = create_shards(dataset.graph, book)
+
+    def worker(rank, comm, shard):
+        dist_graph = DistributedGraph(shard, comm, SARConfig(mode="sar"))
+        assert isinstance(dist_graph.restriction_cache, LRUDict)
+        # Shrink to one entry so the second batch size must evict the first.
+        dist_graph.restriction_cache = LRUDict(capacity=1)
+        model = _install_weights(_fixed_model(dataset, "sage"), weights)
+        model.set_comm(comm)
+        distributed_layerwise_logits(
+            dist_graph, model, shard.node_data["feat"], batch_size=60
+        )
+        # cache value: per-batch list of per-layer (shard view, halo) pairs.
+        first_view = weakref.ref(
+            dist_graph.restriction_cache[("layerwise", 60)][0][0][0]
+        )
+        distributed_layerwise_logits(
+            dist_graph, model, shard.node_data["feat"], batch_size=80
+        )
+        assert ("layerwise", 60) not in dist_graph.restriction_cache
+        assert ("layerwise", 80) in dist_graph.restriction_cache
+        assert dist_graph.restriction_cache.evictions == 1
+        gc.collect()
+        return first_view() is None
+
+    result = run_distributed(worker, 2, worker_args=shards)
+    assert all(result.results)
 
 
 def test_distributed_layerwise_rejects_wrong_inputs(dataset):
