@@ -22,7 +22,12 @@ server configurations:
 * ``microbatch_warm`` — same server, same request sequence replayed with the
   cache warm from the cold pass.
 
-and reports per-request p50/p99 latency and sustained requests/sec.
+and reports per-request p50/p99 latency and sustained requests/sec.  A
+second sweep replays the traffic against a deliberately undersized cache
+twice — plain LRU admission vs the TinyLFU-style frequency gate
+(``cache_admission="frequency"``) — and reports the warm-pass hit-rate
+delta the gate buys by refusing to let one-off tail rows evict the hot
+head.
 
 Usage::
 
@@ -71,6 +76,7 @@ FULL_SIZES = dict(
     requests_per_client=100,
     window_ms=4.0,
     cache_mb=256,
+    small_cache_kb=512,
     zipf_a=1.1,
 )
 SMOKE_SIZES = dict(
@@ -81,6 +87,7 @@ SMOKE_SIZES = dict(
     requests_per_client=25,
     window_ms=4.0,
     cache_mb=64,
+    small_cache_kb=128,
     zipf_a=1.1,
 )
 
@@ -196,7 +203,8 @@ def main(argv=None) -> int:
 
     results: dict = {}
 
-    def measure(name, window_ms, cache_bytes_opt, warm_from=None):
+    def measure(name, window_ms, cache_bytes_opt, warm_from=None,
+                admission="none"):
         """One configuration: fresh server unless continuing ``warm_from``.
 
         Counters are reported per phase (the warm pass reuses the cold
@@ -211,6 +219,7 @@ def main(argv=None) -> int:
                 model, graph, features,
                 window_ms=window_ms,
                 cache_bytes=cache_bytes_opt,
+                cache_admission=admission,
             ).start()
             before = None
         p50, p99, rps = run_workload(server, streams, reference)
@@ -231,8 +240,16 @@ def main(argv=None) -> int:
             "fast_path_batches": phase("fast_path_batches"),
         }
         if stats["embedding_cache"] is not None:
-            results[name]["cache_hits"] = phase("hits", "embedding_cache")
-            results[name]["cache_misses"] = phase("misses", "embedding_cache")
+            hits = phase("hits", "embedding_cache")
+            misses = phase("misses", "embedding_cache")
+            results[name]["cache_hits"] = hits
+            results[name]["cache_misses"] = misses
+            results[name]["cache_hit_rate"] = round(
+                hits / max(hits + misses, 1), 4
+            )
+            results[name]["cache_rejected_admissions"] = phase(
+                "rejected_admissions", "embedding_cache"
+            )
         print(
             f"{name:<18} p50={p50:>8.3f}ms p99={p99:>8.3f}ms "
             f"{rps:>8.1f} req/s  batches={stats['batches']}"
@@ -245,6 +262,34 @@ def main(argv=None) -> int:
     cached = measure("microbatch_cold", sizes["window_ms"], cache_bytes)
     measure("microbatch_warm", sizes["window_ms"], cache_bytes,
             warm_from=cached).stop()
+
+    # Admission-gate comparison: the same traffic against a cache far too
+    # small for the working set, plain-LRU vs the frequency gate.  The cold
+    # pass trains the frequency sketch; the warm pass measures the hit rate
+    # the retained rows deliver.  Window 0 keeps batches single-seed: cache
+    # lookups are all-or-nothing per batch, and an undersized cache can
+    # cover a hot seed's receptive field but never a coalesced batch's
+    # union, which would show both policies as uniformly 0%.
+    small_bytes = sizes["small_cache_kb"] * 1024
+    lru = measure("smallcache_lru_cold", 0.0, small_bytes)
+    measure("smallcache_lru_warm", 0.0, small_bytes, warm_from=lru).stop()
+    lfu = measure("smallcache_gated_cold", 0.0, small_bytes,
+                  admission="frequency")
+    measure("smallcache_gated_warm", 0.0, small_bytes,
+            warm_from=lfu, admission="frequency").stop()
+    lru_rate = results["smallcache_lru_warm"]["cache_hit_rate"]
+    gated_rate = results["smallcache_gated_warm"]["cache_hit_rate"]
+    results["admission_gate"] = {
+        "small_cache_kb": sizes["small_cache_kb"],
+        "lru_warm_hit_rate": lru_rate,
+        "gated_warm_hit_rate": gated_rate,
+        "hit_rate_delta": round(gated_rate - lru_rate, 4),
+    }
+    print(
+        f"admission gate @ {sizes['small_cache_kb']}KB: warm hit rate "
+        f"{lru_rate:.1%} (LRU) vs {gated_rate:.1%} (frequency-gated), "
+        f"delta {gated_rate - lru_rate:+.1%}"
+    )
 
     assert results["microbatch_warm"]["p50_ms"] < results["microbatch_cold"]["p50_ms"], (
         f"warm-cache p50 {results['microbatch_warm']['p50_ms']}ms is not below "

@@ -85,6 +85,34 @@ class _DistributedGraphBase:
         self._op_counter += 1
         return f"s{self._step}/{name}{self._op_counter}"
 
+    # ------------------------------------------------------------------ #
+    @property
+    def feature_store(self):
+        """The attached :class:`~repro.store.PartitionedKVStore`, or ``None``."""
+        return self.engine.feature_store
+
+    def attach_feature_store(self, store) -> None:
+        """Route halo fetches of the store's rows through its hot-row cache.
+
+        ``store`` must be this worker's :class:`~repro.store.
+        PartitionedKVStore` (or ``None`` to detach).  Whenever an
+        aggregation's payload *is* the store's resident feature matrix —
+        layer 0 of every step — the engine fetches remote source rows via
+        :meth:`~repro.store.PartitionedKVStore.fetch_rows` instead of a raw
+        ``comm.fetch``, so frontier rows repeated across batches and steps
+        are served from the byte-bounded cache.  Every worker must attach
+        (or detach) at the same point — replicated control flow, like every
+        other collective discipline on this handle.
+        """
+        if store is not None:
+            for attr in ("covers", "fetch_rows"):
+                if not callable(getattr(store, attr, None)):
+                    raise TypeError(
+                        f"attach_feature_store needs a partitioned store with "
+                        f"covers()/fetch_rows(); {type(store).__name__} has no {attr}"
+                    )
+        self.engine.feature_store = store
+
 
 class DistributedGraph(_DistributedGraphBase):
     """Worker-local handle over a partitioned homogeneous graph."""

@@ -163,16 +163,19 @@ class BlockKernel:
 class _PrefetchPipeline:
     """Double-buffered background fetcher (one fetch in flight at a time).
 
+    The fetch itself is a caller-supplied ``fetch_fn(q, rows)`` — a raw
+    ``comm.fetch`` of the published payload, or the attached feature store's
+    cached :meth:`~repro.store.PartitionedKVStore.fetch_rows` — so prefetch
+    overlap composes with hot-row caching unchanged.
+
     The fetched block is wrapped in a :class:`Tensor` *on the fetcher thread*
     under the consumer's memory tracker, so the in-flight buffer counts
     towards the worker's peak exactly like a resident halo block — the
     3/N-instead-of-2/N accounting of §3.4.
     """
 
-    def __init__(self, comm: Communicator, key: str, tag: str):
-        self._comm = comm
-        self._key = key
-        self._tag = tag
+    def __init__(self, fetch_fn):
+        self._fetch = fetch_fn
         self._tracker = active_tracker()
         self._thread: Optional[threading.Thread] = None
         self._q: Optional[int] = None
@@ -188,12 +191,9 @@ class _PrefetchPipeline:
             try:
                 if self._tracker is not None:
                     with track_memory(self._tracker):
-                        arr = self._comm.fetch(q, self._key, rows=rows, tag=self._tag)
-                        self._result = Tensor(arr)
+                        self._result = Tensor(self._fetch(q, rows))
                 else:
-                    self._result = Tensor(
-                        self._comm.fetch(q, self._key, rows=rows, tag=self._tag)
-                    )
+                    self._result = Tensor(self._fetch(q, rows))
             except BaseException as exc:  # noqa: BLE001 - re-raised in take()
                 self._error = exc
 
@@ -208,7 +208,7 @@ class _PrefetchPipeline:
         self._thread = None
         if thread is None or expected != q:
             # Defensive fallback; the engine always consumes in issue order.
-            return Tensor(self._comm.fetch(q, self._key, rows=rows, tag=self._tag))
+            return Tensor(self._fetch(q, rows))
         thread.join()
         if self._error is not None:
             raise self._error
@@ -243,6 +243,14 @@ class SequentialAggregationEngine:
         #: aggregation this engine has run.  SAR keeps this at 1 (2 with
         #: prefetching); vanilla DP grows it to the number of remote blocks.
         self.max_resident_remote_blocks = 0
+        #: optional :class:`~repro.store.PartitionedKVStore` (attached via
+        #: ``DistributedGraph.attach_feature_store``).  When an aggregation's
+        #: payload *is* the store's resident feature matrix — layer 0 of
+        #: every step — halo fetches route through the store's deduplicating
+        #: hot-row cache instead of raw ``comm.fetch``, and the payload is
+        #: not re-published (the store's rows are already remotely readable
+        #: under its stream key).
+        self.feature_store = None
 
     # ------------------------------------------------------------------ #
     def aggregate(self, kernel: BlockKernel, key: str, *tensors: Tensor) -> Tensor:
@@ -261,7 +269,13 @@ class SequentialAggregationEngine:
     def run_forward(self, kernel: BlockKernel, key: str) -> np.ndarray:
         payload = kernel.payload()
         kernel._payload = payload
-        self.comm.publish(f"{key}/h", payload)
+        if not self._store_covers(payload):
+            # Covered payloads are already published under the store's
+            # stream key (and peers, running the same replicated control
+            # flow over the same covered payload, fetch through their own
+            # attached store) — re-publishing would copy the full feature
+            # matrix into the shared store every step on the mp backend.
+            self.comm.publish(f"{key}/h", payload)
         save_halos = self.config.is_domain_parallel
         kernel.forward_init()
         for p in kernel.passes():
@@ -302,6 +316,10 @@ class SequentialAggregationEngine:
         return kernel.backward_finalize()
 
     # ------------------------------------------------------------------ #
+    def _store_covers(self, payload: np.ndarray) -> bool:
+        store = self.feature_store
+        return store is not None and store.covers(payload)
+
     def _iter_fetch(self, p: KernelPass, key: str, payload: np.ndarray,
                     tag: str) -> Iterator[Tuple[int, EdgeBlock, np.ndarray, Optional[Tensor]]]:
         """Yield ``(q, block, feats, fetched)`` with fetching, retention, and
@@ -311,17 +329,31 @@ class SequentialAggregationEngine:
         (``None`` for the local block).  Under SAR the block is dropped as
         soon as its compute finishes; under vanilla DP the caller keeps it
         via ``kernel.save_halo``.
+
+        When the attached feature store covers the payload, remote rows come
+        from the store's deduplicating hot-row cache (same values, fewer
+        bytes on the wire) instead of a raw ``comm.fetch``.
         """
         comm, config = self.comm, self.config
         rank = comm.rank
         fetch_key = f"{key}/h"
+        if self._store_covers(payload):
+            store = self.feature_store
+
+            def fetch_fn(q: int, rows: np.ndarray) -> np.ndarray:
+                return store.fetch_rows(q, rows)
+        else:
+
+            def fetch_fn(q: int, rows: np.ndarray) -> np.ndarray:
+                return comm.fetch(q, fetch_key, rows=rows, tag=tag)
+
         order = [q for q in block_order(rank, comm.world_size)
                  if p.blocks[q].num_edges > 0]
         remotes = [q for q in order if q != rank]
         pipeline: Optional[_PrefetchPipeline] = None
         next_prefetch = 0
         if config.prefetch and remotes:
-            pipeline = _PrefetchPipeline(comm, fetch_key, tag)
+            pipeline = _PrefetchPipeline(fetch_fn)
             pipeline.issue(remotes[0], p.blocks[remotes[0]].required_src_local)
             next_prefetch = 1
 
@@ -339,9 +371,7 @@ class SequentialAggregationEngine:
                     pipeline.issue(nq, p.blocks[nq].required_src_local)
                     next_prefetch += 1
             else:
-                fetched = Tensor(
-                    comm.fetch(q, fetch_key, rows=blk.required_src_local, tag=tag)
-                )
+                fetched = Tensor(fetch_fn(q, blk.required_src_local))
             resident.append(fetched)
             in_flight = 1 if (pipeline is not None and pipeline.busy) else 0
             self.max_resident_remote_blocks = max(

@@ -57,6 +57,11 @@ class CommStats:
     sent_by_tag: Dict[str, int] = field(default_factory=dict)
     #: bytes this worker received, broken down by tag
     received_by_tag: Dict[str, int] = field(default_factory=dict)
+    #: feature-store hot-row cache: remote rows served locally / fetched
+    cache_hit_rows: int = 0
+    cache_miss_rows: int = 0
+    #: bytes that never crossed the wire because the cache held the rows
+    cache_hit_bytes: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_send(self, nbytes: int, tag: str = "other") -> None:
@@ -71,6 +76,13 @@ class CommStats:
             self.messages_received += 1
             self.received_by_tag[tag] = self.received_by_tag.get(tag, 0) + int(nbytes)
 
+    def record_cache(self, hit_rows: int, miss_rows: int, hit_bytes: int) -> None:
+        """Account one feature-store cache probe (hot-row halo cache)."""
+        with self._lock:
+            self.cache_hit_rows += int(hit_rows)
+            self.cache_miss_rows += int(miss_rows)
+            self.cache_hit_bytes += int(hit_bytes)
+
     def reset(self) -> None:
         with self._lock:
             self.bytes_sent = 0
@@ -79,6 +91,9 @@ class CommStats:
             self.messages_received = 0
             self.sent_by_tag = {}
             self.received_by_tag = {}
+            self.cache_hit_rows = 0
+            self.cache_miss_rows = 0
+            self.cache_hit_bytes = 0
 
     @property
     def total_bytes(self) -> int:
@@ -102,6 +117,10 @@ class CommStats:
                 "messages_sent": self.messages_sent,
                 "messages_received": self.messages_received,
             }
+            if self.cache_hit_rows or self.cache_miss_rows:
+                out["cache_hit_rows"] = self.cache_hit_rows
+                out["cache_miss_rows"] = self.cache_miss_rows
+                out["cache_hit_bytes"] = self.cache_hit_bytes
             out.update({f"sent:{k}": v for k, v in sorted(self.sent_by_tag.items())})
             out.update({f"recv:{k}": v for k, v in sorted(self.received_by_tag.items())})
         return out

@@ -49,6 +49,7 @@ from repro.graph.hetero import HeteroGraph
 from repro.partition.shard import restrict_block_to_dst
 from repro.sample.loader import MiniBatchDataLoader, num_batches_for
 from repro.sample.neighbor import NeighborSampler
+from repro.store import FeatureStore, PartitionedKVStore, as_feature_store
 from repro.tensor import no_grad
 from repro.tensor.tensor import Tensor
 from repro.utils.validation import check_positive_int
@@ -201,13 +202,18 @@ class LayerWiseInference:
         """High-water mark of simultaneously materialized sampled batches."""
         return max(ldr.peak_resident_batches for ldr in self._loaders.values())
 
-    def run(self, features: np.ndarray) -> np.ndarray:
+    def run(self, features) -> np.ndarray:
         """Infer every node's output representation.
 
         Parameters
         ----------
         features:
-            ``(num_nodes, in_features)`` input feature matrix.
+            ``(num_nodes, in_features)`` input feature matrix, or any
+            :class:`~repro.store.FeatureStore` covering the graph's nodes —
+            layer 0's batch rows are gathered through the store (so a
+            partitioned KV backend fetches only each batch's input rows, and
+            an embedding store serves its table); later layers always read
+            the dense matrix the previous layer produced.
 
         Returns
         -------
@@ -217,38 +223,46 @@ class LayerWiseInference:
         """
         model = self.model
         num_nodes = self.graph.num_nodes
+        store = as_feature_store(features)
+        if store.num_rows != num_nodes:
+            raise ValueError(
+                f"features has {store.num_rows} rows but graph has {num_nodes} nodes"
+            )
         was_training = model.training
         model.eval()
         try:
             with no_grad():
-                # Held as Tensors so the engine's two full-width matrices are
-                # visible to the live-tensor memory accounting benchmarks use.
-                h = Tensor(features)
-                if h.shape[0] != num_nodes:
-                    raise ValueError(
-                        f"features has {h.shape[0]} rows but graph has {num_nodes} nodes"
-                    )
+                # From layer 1 on the sweep input is the previous layer's
+                # output matrix, held as a Tensor so the engine's two
+                # full-width matrices are visible to the live-tensor memory
+                # accounting the benchmarks use.
+                h: Optional[Tensor] = None
                 self.layer_batch_sizes = []
                 for layer in range(self.num_layers):
+                    source = store if layer == 0 else h.data
+                    in_width = store.dim if layer == 0 else h.shape[1]
+                    itemsize = np.dtype(
+                        store.dtype if layer == 0 else h.data.dtype
+                    ).itemsize
                     if self.byte_budget is None:
                         loader = self.loader
                     else:
                         loader = self._loader_for(self._adaptive_batch_size(
-                            layer, h.shape[1], h.data.dtype.itemsize
+                            layer, in_width, itemsize
                         ))
                     self.layer_batch_sizes.append(loader.batch_size)
                     out: Optional[Tensor] = None
                     # Point the loader's feature-fetch stage at the current
-                    # layer's input matrix: each batch's input rows are then
+                    # layer's input: each batch's input rows are then
                     # gathered on a pipeline stage, overlapping the previous
-                    # batch's layer compute.  ``h`` is stable for the whole
-                    # per-layer sweep, so background gathers read a frozen
-                    # matrix.
-                    loader.set_features(h.data)
+                    # batch's layer compute.  The source is stable for the
+                    # whole per-layer sweep, so background gathers read a
+                    # frozen matrix/store version.
+                    loader.set_features(source)
                     try:
                         for batch in loader.iter_epoch(layer):
                             block = batch.pipeline.layer_block(0)
-                            x = Tensor(batch.input_features(h.data))
+                            x = Tensor(batch.input_features(source))
                             y = model.forward_layer(layer, block, x).data
                             if out is None:
                                 out = Tensor(
@@ -318,7 +332,11 @@ def distributed_layerwise_logits(
         The worker's model replica (``num_layers`` + ``forward_layer``);
         switched to ``eval()`` for the duration.
     features:
-        ``(num_local_nodes, in_features)`` — this worker's feature rows.
+        ``(num_local_nodes, in_features)`` — this worker's feature rows, or
+        a :class:`~repro.store.PartitionedKVStore` (its resident partition
+        rows are used; halo fetches then route through the store's hot-row
+        cache when it is attached to ``dist_graph``) or another
+        :class:`~repro.store.FeatureStore` covering the local rows.
     batch_size:
         Global batch size; must be identical on every worker.
 
@@ -335,6 +353,10 @@ def distributed_layerwise_logits(
             "distributed layer-wise inference supports homogeneous "
             "DistributedGraph handles only"
         )
+    if isinstance(features, PartitionedKVStore):
+        features = features.local_matrix
+    elif isinstance(features, FeatureStore):
+        features = features.gather(None)
     num_layers = check_layered_model(model)
     batch_size = check_positive_int(batch_size, "batch_size")
     shard = dist_graph.shard

@@ -40,6 +40,7 @@ import numpy as np
 from repro.graph.mfg import MFGPipeline
 from repro.sample.neighbor import NeighborSampler
 from repro.sample.pipeline import Stage, StagedPipeline
+from repro.store import FeatureStore, as_feature_store
 from repro.utils.seed import derive_rng
 from repro.utils.validation import check_1d_int_array, check_positive_int
 
@@ -133,15 +134,19 @@ class MiniBatch:
         """Global ids whose input features the batch's layer 0 consumes."""
         return self.pipeline.input_nodes
 
-    def gather_inputs(self, features: np.ndarray) -> np.ndarray:
+    def gather_inputs(self, features) -> np.ndarray:
+        """Layer-0 input rows from a matrix or a :class:`FeatureStore`."""
+        if isinstance(features, FeatureStore):
+            return features.gather(self.pipeline.input_nodes)
         return self.pipeline.gather_inputs(features)
 
-    def input_features(self, features: np.ndarray) -> np.ndarray:
+    def input_features(self, features) -> np.ndarray:
         """The batch's layer-0 input rows — prefetched if available.
 
         Returns :attr:`inputs` when the feature-fetch stage already gathered
         them (overlapping the previous batch's compute), else gathers from
-        ``features`` on the calling thread.
+        ``features`` (a matrix or a :class:`FeatureStore`) on the calling
+        thread.
         """
         if self.inputs is not None:
             return self.inputs
@@ -193,19 +198,44 @@ class MiniBatchDataLoader:
                 f"for {len(self.seeds)} seeds"
             )
         self._auto_epoch = 0
-        self._features: Optional[np.ndarray] = None
+        self._features: Optional[FeatureStore] = None
 
-    def set_features(self, features: Optional[np.ndarray]) -> None:
+    def set_features(self, features) -> None:
         """Enable (or with ``None`` disable) the feature-fetch stage.
+
+        ``features`` may be a full-graph ``(num_nodes, F)`` matrix (wrapped
+        in a zero-copy :class:`~repro.store.DenseStore`) or any
+        :class:`~repro.store.FeatureStore`.  Shape and dtype are validated
+        **here**, eagerly — a wrong-sized matrix used to surface batches
+        later as an opaque fancy-indexing ``IndexError`` on a pipeline
+        thread.
 
         Once set, every yielded :class:`MiniBatch` carries its layer-0 input
         rows in :attr:`MiniBatch.inputs`, gathered on a pipeline stage so the
-        copy overlaps the consumer's compute.  The array is read, never
-        written; the caller may swap it between epochs (the trainers do, and
-        layer-wise inference swaps it per layer) but must not mutate it while
-        an epoch is being iterated.
+        copy overlaps the consumer's compute.  (Trainable stores are the
+        exception: their gathers must record autograd state on the consuming
+        thread, so prefetch is skipped and consumers gather at use time.)
+        The rows are read, never written; the caller may swap the features
+        between epochs (the trainers do, and layer-wise inference swaps them
+        per layer) but must not mutate them while an epoch is being iterated.
         """
-        self._features = features
+        if features is None:
+            self._features = None
+            return
+        store = as_feature_store(features)
+        if store.num_rows != self.sampler.num_nodes:
+            raise ValueError(
+                f"feature rows ({store.num_rows}) do not match the sampler's "
+                f"graph ({self.sampler.num_nodes} nodes); set_features needs "
+                "one row per graph node, in global-id order"
+            )
+        if not (np.issubdtype(store.dtype, np.floating)
+                or np.issubdtype(store.dtype, np.integer)):
+            raise TypeError(
+                f"feature dtype {np.dtype(store.dtype)} is not numeric; the "
+                "models consume floating or integer node features"
+            )
+        self._features = store
 
     def __len__(self) -> int:
         return num_batches_for(len(self.seeds), self.batch_size, self.drop_last)
@@ -237,9 +267,9 @@ class MiniBatchDataLoader:
         return MiniBatch(epoch=epoch, index=index, seeds=pipeline.output_nodes, pipeline=pipeline)
 
     def _stage_fetch(self, batch: MiniBatch) -> MiniBatch:
-        features = self._features
-        if features is not None:
-            batch.inputs = batch.gather_inputs(features)
+        store = self._features
+        if store is not None and not store.trainable:
+            batch.inputs = store.gather(batch.input_nodes)
         return batch
 
     def _build_pipeline(self) -> StagedPipeline:

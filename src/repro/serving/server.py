@@ -56,6 +56,7 @@ from repro.graph.graph import Graph
 from repro.graph.mfg import build_mfg_pipeline
 from repro.sample.inference import check_layered_model
 from repro.serving.cache import EmbeddingCache
+from repro.store import DenseStore, as_feature_store
 from repro.tensor import no_grad
 from repro.tensor.edge_plan import shared_plan_cache
 from repro.tensor.tensor import Tensor
@@ -98,7 +99,14 @@ class InferenceServer:
         The full homogeneous :class:`~repro.graph.graph.Graph` (hetero
         serving would need per-relation pipelines — not supported yet).
     features:
-        ``(num_nodes, in_features)`` input feature matrix, read-only.
+        ``(num_nodes, in_features)`` input feature matrix (read-only), or
+        any :class:`~repro.store.FeatureStore` covering the graph's nodes —
+        batch input rows are gathered through the store, so serving runs
+        unchanged over partitioned KV features or a trained embedding table.
+        The store's own :attr:`~repro.store.FeatureStore.version` composes
+        with the activation-cache version: when the store reports a new
+        version (features replaced, embedding rows stepped), the next batch
+        bumps the cache version, so stale activations are never served.
     window_ms:
         Micro-batch coalescing window in milliseconds: after the first
         request of a batch arrives, later requests joining within the window
@@ -113,6 +121,11 @@ class InferenceServer:
     cache_bytes:
         Byte capacity of the historical-embedding cache; ``None`` (default)
         disables activation caching entirely.
+    cache_admission:
+        Admission policy of that cache — ``"none"`` (plain LRU) or
+        ``"frequency"`` (TinyLFU-style gate: a full cache only admits rows
+        requested more often than the LRU victim they would displace; see
+        :class:`~repro.serving.cache.EmbeddingCache`).
 
     Examples
     --------
@@ -141,28 +154,34 @@ class InferenceServer:
         max_batch_seeds: int = 1024,
         max_pending: int = 4096,
         cache_bytes: Optional[int] = None,
+        cache_admission: str = "none",
     ):
         num_layers = check_layered_model(model)
         if not isinstance(graph, Graph):
             raise ValueError(
                 "InferenceServer serves homogeneous Graph instances only"
             )
-        features = np.asarray(features)
-        if features.ndim != 2 or features.shape[0] != graph.num_nodes:
+        store = as_feature_store(features)
+        if store.num_rows != graph.num_nodes:
             raise ValueError(
-                f"features must be 2-D with {graph.num_nodes} rows, "
-                f"got shape {features.shape}"
+                f"features must cover the graph's {graph.num_nodes} nodes, "
+                f"got {store.num_rows} rows"
             )
         if window_ms < 0:
             raise ValueError(f"window_ms must be >= 0, got {window_ms}")
         self.model = model
         self.graph = graph
-        self.features = features
+        self.store = store
+        #: the raw matrix when the store is dense (back-compat); ``None``
+        #: for non-materialized backends — read through :attr:`store`.
+        self.features = store.matrix if isinstance(store, DenseStore) else None
+        self._store_version_seen = store.version
         self.num_layers = num_layers
         self.window_s = float(window_ms) / 1e3
         self.max_batch_seeds = check_positive_int(max_batch_seeds, "max_batch_seeds")
         self.cache: Optional[EmbeddingCache] = (
-            EmbeddingCache(cache_bytes) if cache_bytes is not None else None
+            EmbeddingCache(cache_bytes, admission=cache_admission)
+            if cache_bytes is not None else None
         )
         self._version_no_cache = 1
         self._queue: "queue.Queue" = queue.Queue(
@@ -234,7 +253,7 @@ class InferenceServer:
             raise RuntimeError("InferenceServer is not running (call start())")
         item = _Predict(ids)
         if ids.size == 0:
-            item.future.set_result(np.empty((0, 0), dtype=self.features.dtype))
+            item.future.set_result(np.empty((0, 0), dtype=self.store.dtype))
             return item.future
         try:
             self._queue.put(item, timeout=timeout)
@@ -290,9 +309,11 @@ class InferenceServer:
                 "queue_depth": self._queue.qsize(),
             }
         snapshot["version"] = self.version
+        snapshot["store_version"] = self.store.version
         snapshot["embedding_cache"] = (
             self.cache.stats() if self.cache is not None else None
         )
+        snapshot["feature_store"] = self.store.stats() or None
         snapshot["plan_cache"] = shared_plan_cache().stats()
         return snapshot
 
@@ -382,8 +403,22 @@ class InferenceServer:
                 if not item.future.done():
                     item.future.set_exception(exc)
 
+    def _sync_store_version(self) -> None:
+        # Compose the feature store's version into the serving version: a
+        # store mutation (replace(), sparse-embedding step) invalidates every
+        # cached activation exactly once, at the next batch boundary.  Runs
+        # on the worker thread, so it is serialized with cache reads.
+        current = self.store.version
+        if current != self._store_version_seen:
+            self._store_version_seen = current
+            if self.cache is not None:
+                self.cache.bump_version()
+            else:
+                self._version_no_cache += 1
+
     def _compute(self, seeds: np.ndarray):
         """Logits of the ascending unique ``seeds``; returns ``(rows, frontier)``."""
+        self._sync_store_version()
         cache = self.cache
         model = self.model
         num_layers = self.num_layers
@@ -407,7 +442,7 @@ class InferenceServer:
                                           stop_at=stop_at)
             start = pipeline.input_layer
             if start == 0:
-                x = Tensor(self.features[pipeline.input_nodes])
+                x = Tensor(self.store.gather(pipeline.input_nodes))
             else:
                 x = Tensor(frontier["rows"])
             for offset, layer in enumerate(range(start, num_layers)):

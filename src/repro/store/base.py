@@ -1,0 +1,140 @@
+"""The :class:`FeatureStore` protocol: one interface between compute and bytes.
+
+Every feature consumer in the stack — the mini-batch loader's fetch stage,
+layer-wise inference, the serving server, the trainers, and the distributed
+halo path — historically reached into a materialized dense ``(N, F)`` matrix
+with its own ad-hoc indexing.  :class:`FeatureStore` replaces those five
+private access patterns with one contract:
+
+* :meth:`gather` — rows by global node id (the only read primitive),
+* :attr:`num_rows` / :attr:`dim` / :attr:`dtype` — the logical matrix shape,
+* :attr:`version` — a monotonically increasing stamp advanced by *any*
+  mutation of the stored values, so downstream caches (the serving
+  :class:`~repro.serving.cache.EmbeddingCache`, the KV store's hot-row
+  cache) can compose their own invalidation with the store's,
+* :meth:`gather_tensor` — the autograd entry point; trainable backends
+  (:class:`~repro.store.sparse.SparseEmbeddingStore`) override it so the
+  backward pass produces *per-row sparse* updates instead of dense
+  gradients,
+* :meth:`scatter_grad` — accumulate per-row gradients (trainable backends
+  only; read-only backends raise).
+
+Backends are interchangeable by construction: the bit-parity matrix in
+``tests/test_feature_store.py`` asserts that sampled training, layer-wise
+inference, and serving produce identical logits whichever backend feeds
+them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class FeatureStore(abc.ABC):
+    """Abstract row store addressed by global node id."""
+
+    #: whether :meth:`scatter_grad` accepts gradients (learnable backend)
+    trainable: bool = False
+
+    # -- logical shape --------------------------------------------------- #
+    @property
+    @abc.abstractmethod
+    def num_rows(self) -> int:
+        """Number of rows (nodes) the store covers."""
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Feature width of every row."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self) -> np.dtype:
+        """Element dtype of the stored rows."""
+
+    @property
+    @abc.abstractmethod
+    def version(self) -> int:
+        """Monotonic stamp advanced by every mutation of the stored values.
+
+        Consumers that cache derived state (serving activation caches,
+        hot-row caches) key or invalidate by this stamp; reading rows never
+        changes it.
+        """
+
+    # -- reads ----------------------------------------------------------- #
+    @abc.abstractmethod
+    def gather(self, node_ids: Optional[np.ndarray]) -> np.ndarray:
+        """Rows for ``node_ids`` in request order; ``None`` = all rows.
+
+        The returned array is safe for the caller to *read* for the current
+        version; whether it aliases internal storage is backend-defined
+        (:class:`~repro.store.dense.DenseStore` returns views for the
+        zero-copy fast path), so callers must not write into it.
+        """
+
+    def gather_tensor(self, node_ids: Optional[np.ndarray]) -> Tensor:
+        """Rows wrapped for autograd.
+
+        Read-only backends return a plain leaf tensor; trainable backends
+        override this so the backward pass accumulates per-row sparse
+        gradients into the store (see
+        :class:`~repro.store.sparse.SparseEmbeddingStore`).
+        """
+        return Tensor(self.gather(node_ids))
+
+    # -- writes (trainable backends only) --------------------------------- #
+    def scatter_grad(self, node_ids: np.ndarray, grads: np.ndarray) -> None:
+        """Accumulate per-row gradients for a later sparse optimizer step."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is a read-only feature store; only "
+            "trainable backends (SparseEmbeddingStore) accept gradients"
+        )
+
+    # -- telemetry -------------------------------------------------------- #
+    def stats(self) -> Dict[str, int]:
+        """Backend telemetry (cache hits, bytes moved, ...); may be empty."""
+        return {}
+
+    # -- shared validation ------------------------------------------------ #
+    def _check_ids(self, node_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(node_ids)
+        if ids.ndim != 1:
+            raise ValueError(f"node_ids must be 1-D, got shape {ids.shape}")
+        if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.num_rows):
+            raise IndexError(
+                f"node_ids must lie in [0, {self.num_rows}), got range "
+                f"[{int(ids.min())}, {int(ids.max())}]"
+            )
+        return ids.astype(np.int64, copy=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_rows={self.num_rows}, dim={self.dim}, "
+            f"dtype={np.dtype(self.dtype).name}, version={self.version})"
+        )
+
+
+def as_feature_store(features) -> FeatureStore:
+    """Coerce ``features`` to a :class:`FeatureStore`.
+
+    A store passes through unchanged; a 2-D array is wrapped in a zero-copy
+    :class:`~repro.store.dense.DenseStore`.  This is the adapter every
+    consumer applies at its boundary, so call sites accept either
+    representation.
+    """
+    if isinstance(features, FeatureStore):
+        return features
+    arr = np.asarray(features)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"features must be a FeatureStore or a 2-D array, got shape {arr.shape}"
+        )
+    from repro.store.dense import DenseStore
+
+    return DenseStore(arr)

@@ -1,0 +1,199 @@
+"""Learnable node embeddings with per-row sparse gradients.
+
+Graphs whose nodes carry no input features (or deliberately discarded ones)
+are trained with a **learnable embedding table**: one trainable row per node,
+fed to the model exactly where the static feature matrix used to go.  The
+naive way to make the table trainable — a single ``(N, F)`` parameter
+``Tensor`` indexed per batch — produces a *dense* ``(N, F)`` gradient every
+step even though a mini-batch touches a few hundred rows, and a dense
+optimizer then walks all ``N`` rows of moment state.  For graph-scale ``N``
+that dominates the step.
+
+:class:`SparseEmbeddingStore` avoids the dense path entirely:
+
+* :meth:`gather_tensor` records a :class:`_SparseGather` autograd node whose
+  *parent* is a one-element anchor tensor — the table itself never enters
+  the graph, so no ``(N, F)`` gradient buffer can exist;
+* the node's backward **scatters** the incoming ``(batch, F)`` gradient into
+  the store's pending list (:meth:`scatter_grad`) and contributes nothing
+  dense;
+* :meth:`pending_gradients` coalesces the pending scatters (duplicate rows
+  summed, ids deduplicated) for the sparse optimizers in
+  :mod:`repro.tensor.optim`, which update **only the touched rows** and
+  their per-row moment state;
+* every applied update bumps :attr:`version`, so downstream caches keyed on
+  the store stamp (serving activation cache, hot-row caches) invalidate.
+
+The store is also a perfectly ordinary read-only :class:`~repro.store.base.
+FeatureStore` under ``no_grad`` — inference and serving gather from it like
+any other backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.store.base import FeatureStore
+from repro.tensor.tensor import DEFAULT_DTYPE, Function, Tensor
+from repro.utils.seed import derive_rng
+
+
+class _SparseGather(Function):
+    """Row gather whose backward scatters into the store instead of densifying.
+
+    The only parent is the store's one-element *anchor* tensor (always
+    ``requires_grad``), which exists purely so autograd records this node and
+    calls :meth:`backward`; the returned gradient for it is ``None``, so the
+    whole contribution of the embedding table to the graph is the side-effect
+    scatter into ``store._pending``.
+    """
+
+    def forward(self, anchor: Tensor, store: "SparseEmbeddingStore" = None,
+                node_ids: np.ndarray = None) -> np.ndarray:
+        self.save_for_backward(store, node_ids)
+        return store.weight[node_ids]
+
+    def backward(self, grad_out: np.ndarray):
+        store, node_ids = self.saved
+        store.scatter_grad(node_ids, grad_out)
+        return (None,)
+
+
+class SparseEmbeddingStore(FeatureStore):
+    """Trainable per-node embedding table with sparse backward.
+
+    Parameters
+    ----------
+    num_rows, dim:
+        Table shape — one ``dim``-wide row per node.
+    scale:
+        Standard deviation of the normal init (default ``1/sqrt(dim)``, the
+        usual embedding scaling).
+    seed:
+        Init seed, threaded through :func:`repro.utils.seed.derive_rng` so
+        runs are reproducible.
+    weight:
+        Alternatively, an explicit ``(num_rows, dim)`` initial table (copied;
+        overrides ``scale``/``seed``).
+    """
+
+    trainable = True
+
+    def __init__(self, num_rows: int, dim: int, scale: Optional[float] = None,
+                 seed: int = 0, weight: Optional[np.ndarray] = None,
+                 dtype=DEFAULT_DTYPE):
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError(
+                f"embedding table needs positive shape, got ({num_rows}, {dim})"
+            )
+        if weight is not None:
+            weight = np.asarray(weight, dtype=dtype)
+            if weight.shape != (num_rows, dim):
+                raise ValueError(
+                    f"explicit weight must have shape ({num_rows}, {dim}), "
+                    f"got {weight.shape}"
+                )
+            self.weight = weight.copy()
+        else:
+            if scale is None:
+                scale = 1.0 / float(np.sqrt(dim))
+            # 0x5EED1 tags the embedding-init stream within the seed space.
+            rng = derive_rng(seed, 0x5EED1)
+            self.weight = rng.normal(0.0, scale, size=(num_rows, dim)).astype(dtype)
+        self._version = 1
+        # The anchor's only job is to be a requires_grad parent for
+        # _SparseGather so backward runs; it never receives a gradient.
+        self._anchor = Tensor(np.zeros(1, dtype=dtype), requires_grad=True,
+                              name="sparse_embedding_anchor")
+        self._pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.scatter_calls = 0
+
+    # -- FeatureStore interface ------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.weight.dtype
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def gather(self, node_ids: Optional[np.ndarray]) -> np.ndarray:
+        if node_ids is None:
+            return self.weight
+        return self.weight[self._check_ids(node_ids)]
+
+    def gather_tensor(self, node_ids: Optional[np.ndarray]) -> Tensor:
+        if node_ids is None:
+            node_ids = np.arange(self.num_rows, dtype=np.int64)
+        ids = self._check_ids(node_ids)
+        return _SparseGather.apply(self._anchor, store=self, node_ids=ids)
+
+    def scatter_grad(self, node_ids: np.ndarray, grads: np.ndarray) -> None:
+        ids = self._check_ids(node_ids)
+        grads = np.asarray(grads, dtype=self.dtype)
+        if grads.shape != (len(ids), self.dim):
+            raise ValueError(
+                f"grads must have shape ({len(ids)}, {self.dim}), got {grads.shape}"
+            )
+        self._pending.append((ids, grads.copy()))
+        self.scatter_calls += 1
+
+    # -- sparse-optimizer interface --------------------------------------- #
+    def pending_gradients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Coalesced pending scatters: ``(unique_ids, summed_grads)``.
+
+        Duplicate rows across (and within) scatters are summed, matching the
+        accumulate semantics a dense parameter's ``.grad`` would have had.
+        Returns empty arrays when nothing is pending.
+        """
+        if not self._pending:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty((0, self.dim), dtype=self.dtype))
+        all_ids = np.concatenate([ids for ids, _ in self._pending])
+        all_grads = np.concatenate([g for _, g in self._pending], axis=0)
+        unique, inverse = np.unique(all_ids, return_inverse=True)
+        summed = np.zeros((len(unique), self.dim), dtype=self.dtype)
+        np.add.at(summed, inverse, all_grads)
+        return unique, summed
+
+    def clear_pending(self) -> None:
+        """Drop pending gradients (the sparse optimizers' ``zero_grad``)."""
+        self._pending.clear()
+
+    def apply_row_update(self, node_ids: np.ndarray, delta: np.ndarray) -> int:
+        """Add ``delta`` to the addressed rows and advance :attr:`version`."""
+        ids = self._check_ids(node_ids)
+        self.weight[ids] += np.asarray(delta, dtype=self.dtype)
+        self._version += 1
+        return self._version
+
+    # -- persistence ------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight.copy()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        weight = np.asarray(state["weight"], dtype=self.dtype)
+        if weight.shape != self.weight.shape:
+            raise ValueError(
+                f"state weight shape {weight.shape} does not match table "
+                f"shape {self.weight.shape}"
+            )
+        self.weight[...] = weight
+        self._version += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "version": self._version,
+            "scatter_calls": self.scatter_calls,
+            "pending_scatters": len(self._pending),
+        }

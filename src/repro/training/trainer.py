@@ -60,9 +60,17 @@ from repro.sample.loader import (
     epoch_seed_order,
 )
 from repro.sample.neighbor import NeighborSampler
+from repro.store import FeatureStore, as_feature_store
 from repro.tensor import functional as F
 from repro.tensor import no_grad
-from repro.tensor.optim import Adam, CosineDecay, LRScheduler, StepDecay
+from repro.tensor.optim import (
+    Adam,
+    CosineDecay,
+    LRScheduler,
+    SparseAdam,
+    SparseSGD,
+    StepDecay,
+)
 from repro.tensor.tensor import Tensor
 from repro.training.correct_and_smooth import CorrectAndSmooth
 from repro.training.label_augmentation import LabelAugmenter, NoLabelAugmenter
@@ -134,6 +142,25 @@ class TrainingConfig:
     #: Destination nodes per layer-wise inference batch (``eval_inference=
     #: "layerwise"``); identical on every worker in distributed runs.
     eval_batch_size: int = 1024
+    #: Feature backend.  Single-machine: a :class:`~repro.store.FeatureStore`
+    #: instance (or a plain matrix) replacing ``dataset.features`` — a
+    #: read-only store is gathered per batch, a *trainable* store
+    #: (:class:`~repro.store.SparseEmbeddingStore`) is gathered through
+    #: autograd and updated by a sparse optimizer stepping alongside the
+    #: model's (featureless-graph training).  Distributed: the string
+    #: ``"kv"`` makes every worker wrap its shard's rows in a
+    #: :class:`~repro.store.PartitionedKVStore` and attach it to the graph
+    #: handle, so layer-0 halo fetches route through the hot-row cache.
+    #: Mutually exclusive with :attr:`label_augmentation` (which rewrites the
+    #: feature matrix every epoch) and :attr:`mfg_seeds`.
+    feature_store: Optional[Any] = None
+    #: Hot-row cache budget for the distributed ``"kv"`` store.
+    feature_store_cache_bytes: Optional[int] = 1 << 22
+    #: Optimizer family for a *trainable* feature store: ``"adam"``
+    #: (:class:`~repro.tensor.optim.SparseAdam`) or ``"sgd"``.
+    feature_store_optimizer: str = "adam"
+    #: Learning rate for the trainable store (``None`` = :attr:`lr`).
+    feature_store_lr: Optional[float] = None
 
     def resolved_sampler_seed(self) -> int:
         """The seed the neighbour sampler actually draws under."""
@@ -235,6 +262,30 @@ def _sampled_num_layers(config: TrainingConfig, model_num_layers: Optional[int])
     return model_num_layers
 
 
+def _check_store_config(config: TrainingConfig) -> None:
+    """The combinations a feature store cannot coexist with."""
+    if config.label_augmentation:
+        raise ValueError(
+            "feature_store and label_augmentation are mutually exclusive "
+            "(augmentation rewrites the feature matrix every epoch)"
+        )
+    if config.mfg_seeds is not None:
+        raise ValueError("feature_store and mfg_seeds are not supported together")
+
+
+def _build_sparse_optimizer(config: TrainingConfig, store):
+    """The sparse optimizer a trainable feature store trains under."""
+    lr = config.feature_store_lr if config.feature_store_lr is not None else config.lr
+    if config.feature_store_optimizer == "adam":
+        return SparseAdam(store, lr=lr)
+    if config.feature_store_optimizer == "sgd":
+        return SparseSGD(store, lr=lr, weight_decay=config.weight_decay)
+    raise ValueError(
+        f"feature_store_optimizer must be 'adam' or 'sgd', got "
+        f"{config.feature_store_optimizer!r}"
+    )
+
+
 def _local_loss(logits: Tensor, labels: np.ndarray, predict_mask: np.ndarray) -> Tensor:
     """Summed cross-entropy over the masked rows.
 
@@ -267,9 +318,33 @@ class FullBatchTrainer:
         else:
             self.graph = dataset.graph
         self.augmenter = _make_augmenter(self.config, dataset.num_classes)
+        self.feature_store: Optional[FeatureStore] = None
+        self.sparse_optimizer = None
+        self.sparse_scheduler: Optional[LRScheduler] = None
+        if self.config.feature_store is not None:
+            if isinstance(self.config.feature_store, str):
+                raise ValueError(
+                    "string feature_store modes (e.g. 'kv') are distributed-"
+                    "only; single-machine training takes a FeatureStore "
+                    "instance (or a feature matrix)"
+                )
+            _check_store_config(self.config)
+            if isinstance(self.graph, HeteroGraph):
+                raise ValueError("feature_store supports homogeneous graphs only")
+            store = as_feature_store(self.config.feature_store)
+            if store.num_rows != self.graph.num_nodes:
+                raise ValueError(
+                    f"feature_store has {store.num_rows} rows but the graph "
+                    f"has {self.graph.num_nodes} nodes"
+                )
+            self.feature_store = store
+            if store.trainable:
+                self.sparse_optimizer = _build_sparse_optimizer(self.config, store)
         self.optimizer = Adam(model.parameters(), lr=self.config.lr,
                               weight_decay=self.config.weight_decay)
         self.scheduler = self.config.build_scheduler(self.optimizer)
+        if self.sparse_optimizer is not None:
+            self.sparse_scheduler = self.config.build_scheduler(self.sparse_optimizer)
         self._rng = np.random.default_rng(self.config.seed)
         self._inference_engine: Optional[LayerWiseInference] = None
         self.sample_loader: Optional[MiniBatchDataLoader] = None
@@ -310,9 +385,16 @@ class FullBatchTrainer:
         for epoch in range(1, config.num_epochs + 1):
             timer = Timer().start()
             self.model.train()
-            features, predict_mask = self.augmenter.training_batch(
-                dataset.features, dataset.labels, dataset.train_mask, self._rng
-            )
+            if self.feature_store is not None:
+                # The store replaces the dataset features outright (label
+                # augmentation is rejected at construction, so the loss mask
+                # is simply the training mask).
+                features: Any = self.feature_store
+                predict_mask = np.asarray(dataset.train_mask, dtype=bool)
+            else:
+                features, predict_mask = self.augmenter.training_batch(
+                    dataset.features, dataset.labels, dataset.train_mask, self._rng
+                )
             if self.sample_loader is not None:
                 mean_loss = self._sampled_epoch(features, predict_mask, epoch)
             else:
@@ -325,13 +407,15 @@ class FullBatchTrainer:
                     labels = dataset.labels[out_nodes]
                     predict_mask = np.asarray(predict_mask)[out_nodes]
                 else:
-                    logits = self.model(self.graph, Tensor(features))
+                    logits = self.model(self.graph, self._full_inputs(features))
                     labels = dataset.labels
                 loss = _local_loss(logits, labels, predict_mask)
                 count = max(int(np.asarray(predict_mask).sum()), 1)
                 self._optimize_step(loss, count)
                 mean_loss = float(loss.data) / count
             lr = self.scheduler.step() if self.scheduler else self.optimizer.lr
+            if self.sparse_scheduler is not None:
+                self.sparse_scheduler.step()
             elapsed = timer.stop()
 
             record = EpochRecord(epoch=epoch, loss=mean_loss, lr=lr,
@@ -359,28 +443,54 @@ class FullBatchTrainer:
                               cs_accuracies=cs_accs)
 
     # ------------------------------------------------------------------ #
+    def _full_inputs(self, features) -> Tensor:
+        """Layer-0 inputs for a full-graph forward pass.
+
+        A trainable store is gathered through autograd (so backward scatters
+        per-row gradients into it); everything else yields a plain Tensor.
+        """
+        store = self.feature_store
+        if store is None:
+            return Tensor(features)
+        if store.trainable:
+            return store.gather_tensor(None)
+        return Tensor(store.gather(None))
+
     def _optimize_step(self, loss: Tensor, count: int) -> None:
         """Backward + mean-scaled gradients + one optimizer step."""
         self.model.zero_grad()
+        if self.sparse_optimizer is not None:
+            self.sparse_optimizer.zero_grad()
         loss.backward()
         for param in self.model.parameters():
             if param.grad is not None:
                 param.grad /= count
         self.optimizer.step()
+        if self.sparse_optimizer is not None:
+            # The same mean-loss scaling the dense parameters got above.
+            self.sparse_optimizer.step(grad_scale=1.0 / count)
 
-    def _sampled_epoch(self, features: np.ndarray, predict_mask: np.ndarray,
+    def _sampled_epoch(self, features, predict_mask: np.ndarray,
                        epoch: int) -> float:
         """One neighbour-sampled epoch: a step per mini-batch; returns mean loss."""
         dataset = self.dataset
         predict_mask = np.asarray(predict_mask, dtype=bool)
         total_loss = 0.0
         total_count = 0
-        # Hand the epoch's (augmented) features to the loader so its
+        store = self.feature_store
+        trainable = store is not None and store.trainable
+        # Hand the epoch's features (matrix or store) to the loader so its
         # feature-fetch stage pre-gathers each batch's input rows off the
-        # training thread.
+        # training thread.  Trainable stores are exempt from prefetch (the
+        # loader skips them): their gather must record autograd state on the
+        # training thread, right here.
         self.sample_loader.set_features(features)
         for batch in self.sample_loader.iter_epoch(epoch):
-            logits = self.model(batch.pipeline, Tensor(batch.input_features(features)))
+            if trainable:
+                x = store.gather_tensor(batch.pipeline.input_nodes)
+            else:
+                x = Tensor(batch.input_features(features))
+            logits = self.model(batch.pipeline, x)
             mask = predict_mask[batch.seeds]
             loss = _local_loss(logits, dataset.labels[batch.seeds], mask)
             count = int(mask.sum())
@@ -427,9 +537,15 @@ class FullBatchTrainer:
         dataset = self.dataset
         self.model.eval()
         with no_grad():
-            features = self.augmenter.inference_batch(
-                dataset.features, dataset.labels, dataset.train_mask
-            )
+            if self.feature_store is not None:
+                # A trainable store's gather(None) is its current table; a
+                # read-only store's is the backing matrix — either way the
+                # store *is* the feature source at evaluation time too.
+                features = self.feature_store.gather(None)
+            else:
+                features = self.augmenter.inference_batch(
+                    dataset.features, dataset.labels, dataset.train_mask
+                )
             if mode == "layerwise":
                 engine = self._layerwise_engine(
                     batch_size if batch_size is not None else self.config.eval_batch_size
@@ -605,6 +721,25 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
         if not isinstance(dist_graph, DistributedGraph):
             raise ValueError("sampled distributed training supports homogeneous graphs only")
         sampler = DistributedNeighborSampler(sampling, shard.book, comm)
+    feature_store = None
+    if config.feature_store is not None:
+        if config.feature_store != "kv":
+            raise ValueError(
+                "distributed training takes feature_store='kv' (each worker "
+                f"wraps its shard's rows) or None, got {config.feature_store!r}"
+            )
+        _check_store_config(config)
+        if not isinstance(dist_graph, DistributedGraph):
+            raise ValueError("feature_store='kv' supports homogeneous graphs only")
+        # Every worker constructs (and publishes) its store here — same
+        # program point on every rank, the collective setup discipline the
+        # store requires.  Attaching it routes layer-0 halo fetches through
+        # the hot-row cache (the published payload is the shard's feature
+        # matrix, which the store covers()).
+        feature_store = shard.feature_store(
+            comm, cache_bytes=config.feature_store_cache_bytes
+        )
+        dist_graph.attach_feature_store(feature_store)
     augmenter = _make_augmenter(config, num_classes)
     model = model_factory(augmenter.augmented_dim(feature_dim))
     if hasattr(model, "set_comm"):
@@ -677,13 +812,20 @@ def distributed_train_worker(rank: int, comm: Communicator, shard, *,
     if config.correct_and_smooth:
         refined = config.cs_params(dist_graph, logits, labels, masks["train"])
         cs_accs = evaluation_report(refined, labels, masks, comm)
-    return {
+    result: Dict[str, Any] = {
         "records": records,
         "final_accuracies": final_accs,
         "cs_accuracies": cs_accs,
         "local_logits": logits,
         "global_node_ids": dist_graph.global_node_ids,
     }
+    if feature_store is not None:
+        result["feature_store_stats"] = feature_store.stats()
+        # The evaluation collectives above are barriers: every peer has
+        # finished fetching, so unpublishing the rows is safe.
+        dist_graph.attach_feature_store(None)
+        feature_store.release()
+    return result
 
 
 class DistributedTrainer:
