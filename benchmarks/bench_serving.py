@@ -63,7 +63,7 @@ if __package__ in (None, ""):  # script execution without PYTHONPATH=src
 
 from repro.datasets import ogbn_papers_mini
 from repro.nn.models import GraphSageNet
-from repro.serving import InferenceServer
+from repro.serving import ServingConfig, create_server
 from repro.tensor import Tensor, no_grad
 from repro.tensor.edge_plan import shared_plan_cache
 from repro.utils.seed import set_seed
@@ -215,11 +215,13 @@ def main(argv=None) -> int:
             before = server.stats()
         else:
             shared_plan_cache().clear()
-            server = InferenceServer(
+            server = create_server(
                 model, graph, features,
-                window_ms=window_ms,
-                cache_bytes=cache_bytes_opt,
-                cache_admission=admission,
+                ServingConfig(
+                    window_ms=window_ms,
+                    byte_budget=cache_bytes_opt,
+                    cache_admission=admission,
+                ),
             ).start()
             before = None
         p50, p99, rps = run_workload(server, streams, reference)

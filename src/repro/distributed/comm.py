@@ -37,6 +37,15 @@ import numpy as np
 #: keys are reclaimed explicitly via :meth:`Communicator.release_keyed`.
 STREAM_KEY_PREFIX = "__stream/"
 
+#: Byte-accounting tags of the distributed serving path
+#: (:mod:`repro.serving.distributed`): activation rows fetched from a peer
+#: because the local embedding cache missed them, the per-layer frontier
+#: allgathers of the cooperative receptive-field walk, and the small control
+#: collectives (cache-truncation votes, fast-path votes).
+SERVE_HALO_TAG = "serve_halo"
+SERVE_FRONTIER_TAG = "serve_frontier"
+SERVE_CONTROL_TAG = "serve_ctl"
+
 
 @dataclass
 class CommStats:
@@ -124,6 +133,27 @@ class CommStats:
             out.update({f"sent:{k}": v for k, v in sorted(self.sent_by_tag.items())})
             out.update({f"recv:{k}": v for k, v in sorted(self.received_by_tag.items())})
         return out
+
+    def serving_snapshot(self) -> Dict[str, int]:
+        """Serving-path telemetry: halo/frontier bytes and cache rows.
+
+        The fixed-key subset of :meth:`snapshot` the serving ``stats()``
+        surface exposes per worker — halo-fetch volume (activation rows a
+        peer served because the local embedding cache missed them), frontier
+        allgather volume from the cooperative receptive-field walk, and the
+        feature-store hot-row cache counters.  Keys are always present so
+        the shape is stable for dashboards and tests.
+        """
+        with self._lock:
+            return {
+                "halo_bytes_sent": self.sent_by_tag.get(SERVE_HALO_TAG, 0),
+                "halo_bytes_received": self.received_by_tag.get(SERVE_HALO_TAG, 0),
+                "frontier_bytes_sent": self.sent_by_tag.get(SERVE_FRONTIER_TAG, 0),
+                "frontier_bytes_received": self.received_by_tag.get(SERVE_FRONTIER_TAG, 0),
+                "cache_hit_rows": self.cache_hit_rows,
+                "cache_miss_rows": self.cache_miss_rows,
+                "cache_hit_bytes": self.cache_hit_bytes,
+            }
 
 
 class Communicator(abc.ABC):

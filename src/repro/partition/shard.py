@@ -40,6 +40,12 @@ class EdgeBlock:
     src_index: np.ndarray
     #: per-edge destination id, local to worker ``dst_rank``
     dst_local: np.ndarray
+    #: per-edge *global* edge position in the original graph's edge arrays
+    #: (``None`` for block grids that never need it, e.g. sampled grids).
+    #: Carried so per-worker code can recover the original edge order — the
+    #: reduction order that makes restricted outputs bit-identical to the
+    #: single-machine pipeline (see :meth:`ShardedGraph.in_edge_index`).
+    edge_pos: Optional[np.ndarray] = None
     #: lazily built unweighted CSR matrices, keyed by orientation
     _csr_cache: Dict[bool, sp.csr_matrix] = field(default_factory=dict, repr=False)
     #: lazily built ``(edge_order, indices, indptr)`` CSR sparsity structure,
@@ -171,6 +177,7 @@ def restrict_block_to_dst(block: EdgeBlock, dst_mask: np.ndarray) -> EdgeBlock:
         required_src_local=block.required_src_local[required],
         src_index=src_index.astype(np.int64),
         dst_local=block.dst_local[keep],
+        edge_pos=None if block.edge_pos is None else block.edge_pos[keep],
     )
 
 
@@ -189,6 +196,53 @@ class ShardedGraph:
         self.blocks = blocks
         self.local_in_degrees = np.asarray(local_in_degrees, dtype=np.int64)
         self.node_data: Dict[str, np.ndarray] = dict(node_data or {})
+        self._in_edge_index = None
+
+    def in_edge_index(self):
+        """Per-local-destination in-edge buckets in ascending *global* edge order.
+
+        Builds (once, cached) a :class:`~repro.sample.neighbor.InEdgeIndex`
+        over this worker's incoming edges: destinations are local ids, while
+        sources and edge ids stay global.  Because every bucket lists a
+        destination's complete in-neighbourhood in ascending global edge id —
+        the original edge order — blocks rebuilt from these buckets reduce
+        per destination in exactly the order the single-machine pipeline
+        does, which is what keeps distributed restricted outputs
+        bit-identical (the distributed serving path,
+        :func:`repro.sample.inference.distributed_restricted_logits`).
+        Requires block grids carrying :attr:`EdgeBlock.edge_pos` (anything
+        :func:`create_shards` builds).
+        """
+        if self._in_edge_index is None:
+            from repro.sample.neighbor import InEdgeIndex
+
+            srcs, dsts, eids = [], [], []
+            for q, block in enumerate(self.blocks):
+                if block.num_edges == 0:
+                    continue
+                if block.edge_pos is None:
+                    raise ValueError(
+                        "in_edge_index() needs blocks carrying global edge "
+                        "positions (EdgeBlock.edge_pos); rebuild the shard "
+                        "with create_shards()"
+                    )
+                src_global = self.book.to_global(q, block.required_src_local)
+                srcs.append(src_global[block.src_index])
+                dsts.append(block.dst_local)
+                eids.append(block.edge_pos)
+            if srcs:
+                src = np.concatenate(srcs)
+                dst = np.concatenate(dsts)
+                eid = np.concatenate(eids)
+                # Feed edges in ascending global edge id so every bucket's
+                # order is the original (single-machine) reduction order.
+                order = np.argsort(eid, kind="stable")
+                src, dst, eid = src[order], dst[order], eid[order]
+            else:
+                src = dst = eid = np.empty(0, dtype=np.int64)
+            self._in_edge_index = InEdgeIndex(src, dst, self.num_local_nodes,
+                                              eids=eid)
+        return self._in_edge_index
 
     def with_blocks(self, blocks: List[EdgeBlock],
                     recompute_in_degrees: bool = False) -> "ShardedGraph":
@@ -204,6 +258,7 @@ class ShardedGraph:
         view = ShardedGraph.__new__(ShardedGraph)
         view.__dict__.update(self.__dict__)
         view.blocks = blocks
+        view._in_edge_index = None
         if recompute_in_degrees:
             degrees = np.zeros(self.num_local_nodes, dtype=np.int64)
             for block in blocks:
@@ -340,6 +395,9 @@ def _build_blocks(src: np.ndarray, dst: np.ndarray, book: PartitionBook) -> List
                 required_src_local=required.astype(np.int64),
                 src_index=src_index.astype(np.int64),
                 dst_local=block_dst.astype(np.int64),
+                # order[lo:hi] are the edges' positions in the original
+                # (src, dst) arrays — the global edge ids.
+                edge_pos=order[lo:hi].astype(np.int64),
             )
     return blocks
 

@@ -39,20 +39,27 @@ each batch's halo exchange fetches only the sources feeding that batch.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.dist_graph import DistributedGraph
+from repro.distributed.comm import (
+    SERVE_CONTROL_TAG,
+    SERVE_FRONTIER_TAG,
+    SERVE_HALO_TAG,
+)
 from repro.graph.graph import Graph
 from repro.graph.hetero import HeteroGraph
+from repro.graph.mfg import MFGBlock
 from repro.partition.shard import restrict_block_to_dst
 from repro.sample.loader import MiniBatchDataLoader, num_batches_for
 from repro.sample.neighbor import NeighborSampler
 from repro.store import FeatureStore, PartitionedKVStore, as_feature_store
 from repro.tensor import no_grad
+from repro.tensor import edge_plan as edge_plan_mod
 from repro.tensor.tensor import Tensor
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_1d_int_array, check_positive_int
 
 
 def check_layered_model(model) -> int:
@@ -416,3 +423,290 @@ def distributed_layerwise_logits(
         dist_graph.restore_restriction(snapshot)
         if was_training:
             model.train()
+
+
+def _bucket_positions(indptr: np.ndarray, buckets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat positions of ``buckets``'s entries in a CSR-bucketed array.
+
+    ``(positions, counts)``: iterating ``positions`` visits bucket
+    ``buckets[0]``'s slots first (in stored order), then ``buckets[1]``'s,
+    and so on — the grouped-by-destination edge enumeration the restricted
+    serving blocks are built from.
+    """
+    starts = indptr[buckets]
+    counts = indptr[buckets + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    return positions, counts
+
+
+def distributed_restricted_logits(
+    dist_graph: DistributedGraph,
+    model,
+    store,
+    seed_nodes,
+    *,
+    cache=None,
+    key: str = "serve",
+) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+    """Seed logits over a partitioned graph, bit-identical to single-machine.
+
+    The distributed serving hot path (collective call — every worker runs it
+    for the **same** ``seed_nodes``).  Instead of the SAR engine's per-block
+    partial-sum accumulation (which matches single-machine results only to
+    float tolerance), each worker executes single-machine-style
+    :class:`~repro.graph.mfg.MFGBlock` grids restricted to the seed set's
+    receptive field:
+
+    1. **Cooperative walk.**  Level ``L`` is the seed set; for each layer,
+       every worker expands the level's destinations *it owns* through its
+       complete in-edge buckets (:meth:`~repro.partition.shard.ShardedGraph.
+       in_edge_index`) and an allgather merges the per-worker frontiers.
+       With an :class:`~repro.serving.cache.EmbeddingCache`, each level is
+       probed and an allreduce-min vote truncates the walk at the deepest
+       layer whose owned rows are fully cached on **every** worker (a
+       worker owning no rows of a level votes yes vacuously); a fully
+       cached seed set short-circuits before any walk.
+    2. **Restricted blocks.**  Per layer, this worker's block takes its
+       owned next-level nodes as destinations with their complete
+       in-neighbourhoods grouped per destination in ascending global edge
+       order.  Because source relabelling is order-preserving and the edge
+       plan reduces each destination by ascending source id (ties in input
+       order), every reduction runs in exactly the single-machine order —
+       served logits are **bit-identical** to the single-machine
+       :class:`~repro.serving.InferenceServer`.  Blocks carry privately
+       built plans (never the shared structural cache), so worker threads
+       of a thread-backend cluster can serve concurrently.
+    3. **Publish/fetch activations.**  After computing layer ``l+1`` rows
+       for its owned destinations, a worker publishes them (ascending owned
+       order) under ``f"{key}/l{l+1}"``; peers needing remote source rows
+       first probe their own cache per row
+       (:meth:`~repro.serving.cache.EmbeddingCache.lookup_partial`) and
+       fetch **only the missed rows** from the owner
+       (:data:`~repro.distributed.comm.SERVE_HALO_TAG`).  Layer-0 rows are
+       gathered through ``store`` (a
+       :class:`~repro.store.PartitionedKVStore` pulls remote rows through
+       its own hot-row cache).
+
+    The walk levels and restricted blocks are cached per seed set on
+    ``dist_graph.restriction_cache`` (key ``("serving", key, seeds)``), so a
+    popular request topology pays zero walk collectives' worth of block
+    building after its first visit — the collective *schedule* stays
+    replicated because every worker serves the same batch sequence against
+    equally sized caches.
+
+    Parameters
+    ----------
+    dist_graph:
+        This worker's :class:`~repro.core.dist_graph.DistributedGraph`.
+    model:
+        The (replica-shared or per-worker) model; ``num_layers`` +
+        ``forward_layer``; must already be in ``eval()`` mode under serving.
+    store:
+        A :class:`~repro.store.FeatureStore` covering all **global** rows
+        (or a dense ``(num_total_nodes, dim)`` matrix).
+    seed_nodes:
+        Global seed ids; deduplicated ascending internally.
+    cache:
+        Optional per-worker :class:`~repro.serving.cache.EmbeddingCache`.
+    key:
+        Publish-key namespace (distinct concurrent callers need distinct
+        keys).
+
+    Returns
+    -------
+    (owned_seeds, rows, input_layer):
+        The ascending seed ids this worker owns, their logit rows (``None``
+        when it owns none), and the layer the computation started from
+        (``num_layers`` = all-cached fast path, ``0`` = full-depth).
+    """
+    if not isinstance(dist_graph, DistributedGraph):
+        raise ValueError(
+            "distributed restricted inference supports homogeneous "
+            "DistributedGraph handles only"
+        )
+    comm = dist_graph.comm
+    shard = dist_graph.shard
+    book = shard.book
+    rank = comm.rank
+    assignment = book.assignment
+    num_layers = check_layered_model(model)
+    store = as_feature_store(store)
+    num_total = dist_graph.num_total_nodes
+    if store.num_rows != num_total:
+        raise ValueError(
+            f"store must cover all {num_total} global rows, "
+            f"got {store.num_rows}"
+        )
+    seeds = np.unique(
+        check_1d_int_array(seed_nodes, "seed_nodes", max_value=num_total)
+    )
+    if seeds.size == 0:
+        raise ValueError("seed_nodes must be non-empty")
+
+    def owned(level: np.ndarray) -> np.ndarray:
+        return level[assignment[level] == rank]
+
+    def vote(ok: bool) -> bool:
+        agreed = comm.allreduce(
+            np.asarray([1.0 if ok else 0.0]), op="min", tag=SERVE_CONTROL_TAG
+        )
+        return bool(agreed[0] >= 1.0)
+
+    dist_graph.begin_step()
+    # Publish keys are namespaced by the step counter: without it, a warm
+    # request with no collectives between begin_step() and the first halo
+    # fetch lets a fast worker read a peer's *stale* publish from the
+    # previous request before that peer runs its clear_published().
+    pub_key = f"s{dist_graph.step}/{key}"
+    owned_seeds = owned(seeds)
+
+    # All-logits fast path: every worker's owned seeds fully cached.
+    if cache is not None:
+        rows = cache.lookup(num_layers, owned_seeds)
+        if vote(owned_seeds.size == 0 or rows is not None):
+            return owned_seeds, rows, num_layers
+
+    entry = dist_graph.restriction_cache.get(("serving", key, seeds.tobytes()))
+    if entry is None:
+        entry = {
+            "levels": [None] * (num_layers + 1),
+            "layers": [None] * num_layers,
+        }
+        entry["levels"][num_layers] = seeds
+        dist_graph.restriction_cache[("serving", key, seeds.tobytes())] = entry
+    levels: List[Optional[np.ndarray]] = entry["levels"]
+    iei = shard.in_edge_index()
+
+    # Cooperative receptive-field walk with per-level cache-truncation votes.
+    input_layer = 0
+    pinned: Optional[np.ndarray] = None
+    for layer in range(num_layers - 1, -1, -1):
+        if levels[layer] is None:
+            nxt = levels[layer + 1]
+            local_dst = book.to_local(owned(nxt))[1]
+            positions, _ = _bucket_positions(iei.indptr, local_dst)
+            contribution = np.unique(iei.src[positions])
+            parts = comm.allgather(contribution, tag=SERVE_FRONTIER_TAG)
+            levels[layer] = np.unique(np.concatenate(parts + [nxt]))
+        if layer >= 1 and cache is not None:
+            owned_layer = owned(levels[layer])
+            rows = cache.lookup(layer, owned_layer)
+            if vote(owned_layer.size == 0 or rows is not None):
+                input_layer, pinned = layer, rows
+                break
+
+    # Restricted per-layer blocks (complete in-neighbourhoods of this
+    # worker's owned destinations, per-destination edges in ascending global
+    # edge order), cached per seed set.
+    for layer in range(input_layer, num_layers):
+        if entry["layers"][layer] is not None:
+            continue
+        dst_glob = owned(levels[layer + 1])
+        prep = {"dst_glob": dst_glob, "block": None}
+        if dst_glob.size:
+            local_dst = book.to_local(dst_glob)[1]
+            positions, counts = _bucket_positions(iei.indptr, local_dst)
+            e_src_glob = iei.src[positions]
+            e_dst = np.repeat(
+                np.arange(len(dst_glob), dtype=np.int64), counts
+            )
+            src_glob = np.unique(np.concatenate([e_src_glob, dst_glob]))
+            src_idx = np.searchsorted(src_glob, e_src_glob)
+            block = MFGBlock(
+                src_glob, dst_glob, src_idx, e_dst,
+                np.searchsorted(src_glob, dst_glob),
+            )
+            if edge_plan_mod.plans_enabled():
+                # A privately built plan: the shared structural cache would
+                # hand concurrently serving worker threads the same plan
+                # object, whose kernel-side template buffers are not safe
+                # under concurrent calls.
+                block._plan = edge_plan_mod.EdgePlan(
+                    src_idx, e_dst, len(dst_glob), len(src_glob)
+                )
+            prep["block"] = block
+            if layer >= 1:
+                src_owner = assignment[src_glob]
+                own_sel = np.where(src_owner == rank)[0]
+                prep["own_sel"] = own_sel
+                prep["own_rows"] = np.searchsorted(
+                    owned(levels[layer]), src_glob[own_sel]
+                )
+                remote = []
+                for q in range(comm.world_size):
+                    if q == rank:
+                        continue
+                    sel_q = np.where(src_owner == q)[0]
+                    if not sel_q.size:
+                        continue
+                    ids_q = src_glob[sel_q]
+                    owned_q = levels[layer][assignment[levels[layer]] == q]
+                    remote.append((q, sel_q, ids_q,
+                                   np.searchsorted(owned_q, ids_q)))
+                prep["remote"] = remote
+        entry["layers"][layer] = prep
+
+    # Forward: compute this worker's owned rows layer by layer, publishing
+    # each layer's owned output for peers and pulling only cache-missed
+    # remote rows.  Publishes happen exactly when the owned set is non-empty
+    # — which is exactly when any peer can reference a row this worker owns.
+    with no_grad():
+        if input_layer >= 1 and pinned is not None:
+            comm.publish(f"{pub_key}/l{input_layer}", pinned)
+        h_own = pinned
+        for layer in range(input_layer, num_layers):
+            prep = entry["layers"][layer]
+            dst_glob = prep["dst_glob"]
+            if not dst_glob.size:
+                h_own = None
+                continue
+            block = prep["block"]
+            if layer == 0:
+                x = store.gather(block.src_nodes)
+            else:
+                x = None
+
+                def place(sel, rows, x=None):
+                    # closure-free placement helper (x threaded explicitly)
+                    if x is None:
+                        x = np.empty(
+                            (block.num_src_nodes, rows.shape[1]),
+                            dtype=rows.dtype,
+                        )
+                    x[sel] = rows
+                    return x
+
+                own_sel = prep["own_sel"]
+                if own_sel.size:
+                    x = place(own_sel, h_own[prep["own_rows"]], x)
+                for q, sel_q, ids_q, fetch_rows in prep["remote"]:
+                    if cache is not None:
+                        found, hit_rows = cache.lookup_partial(layer, ids_q)
+                        if hit_rows is not None:
+                            x = place(sel_q[found], hit_rows, x)
+                        miss = ~found
+                    else:
+                        miss = np.ones(len(ids_q), dtype=bool)
+                    if miss.any():
+                        fetched = comm.fetch(
+                            q, f"{pub_key}/l{layer}", rows=fetch_rows[miss],
+                            tag=SERVE_HALO_TAG,
+                        )
+                        x = place(sel_q[miss], fetched, x)
+                        if cache is not None:
+                            cache.put(layer, ids_q[miss], fetched)
+            y = model.forward_layer(layer, block, Tensor(x)).data
+            if cache is not None:
+                cache.put(layer + 1, dst_glob, y)
+            if layer + 1 < num_layers:
+                comm.publish(f"{pub_key}/l{layer + 1}", y)
+            h_own = y
+    return owned_seeds, h_own, input_layer

@@ -1,10 +1,28 @@
-"""Online inference serving: micro-batching server + historical-embedding cache.
+"""Online inference serving: one configured surface over two backends.
+
+Build servers with :func:`create_server`: a :class:`ServingConfig` selects
+``backend="local"`` (one machine holding the whole graph —
+:class:`InferenceServer`) or ``backend="distributed"`` (a micro-batching
+frontend over per-shard workers — :class:`DistributedInferenceServer`), and
+both implement :class:`ServerProtocol`
+(``start/stop/predict/predict_async/update/stats/version``) with one
+documented ``stats()`` shape.
 
 See ``docs/serving.md`` for the request lifecycle, micro-batch window
-semantics, and the cache-consistency rules.
+semantics, cache-consistency rules, and the distributed request path.
 """
 
 from repro.serving.cache import EmbeddingCache
+from repro.serving.config import ServerProtocol, ServingConfig
 from repro.serving.server import InferenceServer
+from repro.serving.distributed import DistributedInferenceServer
+from repro.serving.factory import create_server
 
-__all__ = ["EmbeddingCache", "InferenceServer"]
+__all__ = [
+    "EmbeddingCache",
+    "InferenceServer",
+    "DistributedInferenceServer",
+    "ServerProtocol",
+    "ServingConfig",
+    "create_server",
+]

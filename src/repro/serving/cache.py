@@ -135,6 +135,41 @@ class EmbeddingCache:
                 return None
             return np.stack(found, axis=0)
 
+    def lookup_partial(
+        self, layer: int, node_ids: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Per-row probe: ``(found_mask, hit_rows)`` for ``node_ids``.
+
+        Unlike :meth:`lookup`, partial coverage is useful here: the
+        distributed serving path fetches only the *missed* halo rows from
+        the owning peer, so every hit is wire traffic saved even when the
+        set is not fully covered.  ``found_mask[i]`` says whether row ``i``
+        was cached; ``hit_rows`` stacks the hit rows in probe order (``None``
+        when nothing hit).  Hits are marked most-recently-used and counted,
+        and (under the frequency gate) every probe feeds the sketch.
+        """
+        version = self.version
+        found_mask = np.zeros(len(node_ids), dtype=bool)
+        with self._lock:
+            rows = self._rows
+            if self.admission == "frequency":
+                for node in node_ids:
+                    self._record_request(layer, int(node))
+            hit_rows = []
+            for i, node in enumerate(node_ids):
+                key = (version, layer, int(node))
+                row = rows.get(key)
+                if row is None:
+                    self.misses += 1
+                else:
+                    rows.move_to_end(key)
+                    self.hits += 1
+                    found_mask[i] = True
+                    hit_rows.append(row)
+            if not hit_rows:
+                return found_mask, None
+            return found_mask, np.stack(hit_rows, axis=0)
+
     def put(self, layer: int, node_ids: np.ndarray, values: np.ndarray) -> None:
         """Insert ``values[i]`` as layer-``layer`` activation of ``node_ids[i]``.
 

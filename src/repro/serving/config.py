@@ -1,0 +1,140 @@
+"""Serving configuration and the server protocol shared by both backends.
+
+One :class:`ServingConfig` (mirroring :class:`repro.training.TrainingConfig`)
+carries every serving knob — the micro-batching window, the embedding-cache
+byte budget and admission policy, timeouts, and the ``backend`` selector —
+and :func:`repro.serving.create_server` turns it plus a model, a graph (or
+shard list) and features (or a feature store) into the right server.  Both
+:class:`repro.serving.InferenceServer` and
+:class:`repro.serving.DistributedInferenceServer` implement
+:class:`ServerProtocol`, so callers can hold either behind one type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+_BACKENDS = ("local", "distributed")
+_ADMISSIONS = ("none", "frequency")
+_FEATURE_STORES = ("dense", "kv")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Every serving knob in one (frozen, validated) place.
+
+    The defaults reproduce the PR 7 single-machine server: a 2 ms
+    coalescing window, no embedding cache, local backend.
+    """
+
+    #: ``"local"`` serves one machine holding the whole graph;
+    #: ``"distributed"`` fronts a partitioned graph with per-shard workers.
+    backend: str = "local"
+    #: micro-batching window: requests arriving within this many
+    #: milliseconds of each other coalesce into one deduplicated execution
+    #: (``0`` disables coalescing — one request per execution).
+    window_ms: float = 2.0
+    #: cap on the deduplicated seed count of one coalesced batch.
+    max_batch_seeds: int = 1024
+    #: bound on queued requests before ``predict_async`` rejects.
+    max_pending: int = 4096
+    #: embedding-cache capacity in bytes (``None`` disables the cache).
+    #: Distributed servers give *each* worker a cache of this size.
+    byte_budget: Optional[int] = None
+    #: embedding-cache admission policy: ``"none"`` (plain LRU) or
+    #: ``"frequency"`` (TinyLFU-style gate).
+    cache_admission: str = "none"
+    #: seconds a synchronous ``predict`` waits before raising.
+    predict_timeout_s: float = 30.0
+    #: seconds ``stop`` waits for the worker thread(s) to drain and join.
+    stop_timeout_s: float = 30.0
+    #: distributed only — communicator timeout for collectives and fetches.
+    comm_timeout_s: float = 120.0
+    #: distributed only — how each worker holds its shard's features:
+    #: ``"kv"`` wraps them in a :class:`repro.store.PartitionedKVStore`
+    #: (owned rows local, remote rows pulled and hot-cached), ``"dense"``
+    #: shares one dense matrix.  Ignored when a ready-made store (or one
+    #: per worker) is passed to :func:`repro.serving.create_server`.
+    feature_store: str = "kv"
+    #: distributed only — per-worker byte budget of the KV store's hot-row
+    #: cache (``feature_store="kv"``).
+    feature_cache_bytes: int = 1 << 22
+    #: distributed only — how many served seed-set restrictions each worker
+    #: keeps prepared (walk levels + restricted blocks) for reuse across
+    #: batches.
+    restriction_slots: int = 16
+
+    def __post_init__(self):
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {self.window_ms}")
+        if self.max_batch_seeds < 1:
+            raise ValueError(
+                f"max_batch_seeds must be >= 1, got {self.max_batch_seeds}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.byte_budget is not None and self.byte_budget < 1:
+            raise ValueError(
+                f"byte_budget must be None or >= 1, got {self.byte_budget}"
+            )
+        if self.cache_admission not in _ADMISSIONS:
+            raise ValueError(
+                f"cache_admission must be one of {_ADMISSIONS}, "
+                f"got {self.cache_admission!r}"
+            )
+        for name in ("predict_timeout_s", "stop_timeout_s", "comm_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be > 0, got {getattr(self, name)}"
+                )
+        if self.feature_store not in _FEATURE_STORES:
+            raise ValueError(
+                f"feature_store must be one of {_FEATURE_STORES}, "
+                f"got {self.feature_store!r}"
+            )
+        if self.feature_cache_bytes < 0:
+            raise ValueError(
+                f"feature_cache_bytes must be >= 0, "
+                f"got {self.feature_cache_bytes}"
+            )
+        if self.restriction_slots < 1:
+            raise ValueError(
+                f"restriction_slots must be >= 1, got {self.restriction_slots}"
+            )
+
+
+@runtime_checkable
+class ServerProtocol(Protocol):
+    """The serving surface both backends implement.
+
+    Lifecycle (``start``/``stop``/``running``, context-manager entry),
+    prediction (synchronous ``predict`` and future-returning
+    ``predict_async``), online weight updates (``update`` — serialized
+    behind in-flight batches, invalidates every cache), and introspection
+    (``stats`` in the documented shared shape, monotonic ``version``).
+    """
+
+    def start(self) -> "ServerProtocol": ...
+
+    def stop(self) -> None: ...
+
+    @property
+    def running(self) -> bool: ...
+
+    def predict(self, node_ids: Any) -> np.ndarray: ...
+
+    def predict_async(self, node_ids: Any) -> Any: ...
+
+    def update(self, apply_fn: Any) -> int: ...
+
+    def stats(self) -> dict: ...
+
+    @property
+    def version(self) -> int: ...

@@ -25,8 +25,8 @@ edge_plan.PlanCache`, so a repeated request topology (same coalesced seed
 set) pays **zero** plan builds — asserted in ``tests/test_serving.py`` and
 visible in :meth:`InferenceServer.stats` under ``"plan_cache"``.
 
-**Historical-embedding cache.**  With ``cache_bytes`` set, every computed
-activation row is inserted into an :class:`~repro.serving.cache.
+**Historical-embedding cache.**  With a cache ``byte_budget`` set, every
+computed activation row is inserted into an :class:`~repro.serving.cache.
 EmbeddingCache` keyed by ``(version, layer, node)``.  Each request batch
 probes the cache from the deepest layer down during its receptive-field walk
 and truncates the pipeline at the deepest fully-cached frontier
@@ -40,6 +40,15 @@ Model updates go through :meth:`update`, which runs the mutation *on the
 worker thread* (serialized between batches) and bumps the cache version —
 requests enqueued before the update see the old weights and cache entries,
 requests after see the new ones, and no batch ever mixes the two.
+
+The micro-batching frontend (queue, coalescing loop, request/control
+futures, telemetry) lives in :class:`_MicroBatchServerBase`, shared with the
+distributed backend (:class:`repro.serving.distributed.
+DistributedInferenceServer`); only the per-batch compute and the
+update/version plumbing differ between backends.  Construct servers through
+:class:`~repro.serving.ServingConfig` and
+:func:`repro.serving.create_server`; the loose keyword-argument form of
+``InferenceServer(...)`` remains as a one-release deprecated shim.
 """
 
 from __future__ import annotations
@@ -47,8 +56,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import warnings
 from concurrent.futures import Future
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,11 +66,12 @@ from repro.graph.graph import Graph
 from repro.graph.mfg import build_mfg_pipeline
 from repro.sample.inference import check_layered_model
 from repro.serving.cache import EmbeddingCache
+from repro.serving.config import ServingConfig
 from repro.store import DenseStore, as_feature_store
 from repro.tensor import no_grad
 from repro.tensor.edge_plan import shared_plan_cache
 from repro.tensor.tensor import Tensor
-from repro.utils.validation import check_1d_int_array, check_positive_int
+from repro.utils.validation import check_1d_int_array
 
 #: queue sentinel shutting the worker down after all earlier items are served.
 _STOP = object()
@@ -86,109 +97,35 @@ class _Control:
         self.future: "Future[int]" = Future()
 
 
-class InferenceServer:
-    """Serve ``predict(node_ids)`` over a trained model with micro-batching.
+class _MicroBatchServerBase:
+    """Micro-batching request frontend shared by both serving backends.
 
-    Parameters
-    ----------
-    model:
-        A trained module exposing ``num_layers`` and ``forward_layer(index,
-        graph, x)`` (every ``repro.nn`` model).  Switched to ``eval()`` on
-        :meth:`start` and kept there; mutate it only through :meth:`update`.
-    graph:
-        The full homogeneous :class:`~repro.graph.graph.Graph` (hetero
-        serving would need per-relation pipelines — not supported yet).
-    features:
-        ``(num_nodes, in_features)`` input feature matrix (read-only), or
-        any :class:`~repro.store.FeatureStore` covering the graph's nodes —
-        batch input rows are gathered through the store, so serving runs
-        unchanged over partitioned KV features or a trained embedding table.
-        The store's own :attr:`~repro.store.FeatureStore.version` composes
-        with the activation-cache version: when the store reports a new
-        version (features replaced, embedding rows stepped), the next batch
-        bumps the cache version, so stale activations are never served.
-    window_ms:
-        Micro-batch coalescing window in milliseconds: after the first
-        request of a batch arrives, later requests joining within the window
-        ride the same execution.  ``0`` serves strictly one request per
-        execution.
-    max_batch_seeds:
-        Cap on requested (pre-deduplication) seeds coalesced into one batch;
-        reaching it closes the window early.
-    max_pending:
-        Bound on queued requests; :meth:`predict` blocks (up to its timeout)
-        when the queue is full — closed-loop backpressure, not load shedding.
-    cache_bytes:
-        Byte capacity of the historical-embedding cache; ``None`` (default)
-        disables activation caching entirely.
-    cache_admission:
-        Admission policy of that cache — ``"none"`` (plain LRU) or
-        ``"frequency"`` (TinyLFU-style gate: a full cache only admits rows
-        requested more often than the LRU victim they would displace; see
-        :class:`~repro.serving.cache.EmbeddingCache`).
+    Owns the bounded request queue, the coalescing serve loop, request /
+    control futures, lifecycle (start / stop / context manager), and the
+    shared ``stats()`` shape.  Backends provide:
 
-    Examples
-    --------
-    >>> import numpy as np
-    >>> from repro.datasets import make_sbm_dataset
-    >>> from repro.nn.models import GraphSageNet
-    >>> from repro.serving import InferenceServer
-    >>> from repro.utils.seed import set_seed
-    >>> set_seed(0)
-    >>> ds = make_sbm_dataset(name="s", num_nodes=80, num_classes=3,
-    ...                       feature_dim=8, p_in=0.1, p_out=0.02)
-    >>> model = GraphSageNet(8, 16, 3, num_layers=2, dropout=0.0)
-    >>> with InferenceServer(model, ds.graph, ds.features,
-    ...                      cache_bytes=1 << 20) as server:
-    ...     logits = server.predict([3, 1, 4, 1])
-    >>> logits.shape
-    (4, 3)
+    * :meth:`_compute` — logits of one deduplicated ascending seed set;
+    * :meth:`_apply_update` — apply a model mutation and return the new
+      version (runs on the serve-loop thread, serialized between batches);
+    * :attr:`version` — the monotonic serving version;
+    * :meth:`_backend_stats` — the backend section of :meth:`stats`;
+    * :meth:`_on_start` / :meth:`_on_stop` — backend resource lifecycle.
     """
 
-    def __init__(
-        self,
-        model,
-        graph: Graph,
-        features: np.ndarray,
-        window_ms: float = 2.0,
-        max_batch_seeds: int = 1024,
-        max_pending: int = 4096,
-        cache_bytes: Optional[int] = None,
-        cache_admission: str = "none",
-    ):
-        num_layers = check_layered_model(model)
-        if not isinstance(graph, Graph):
-            raise ValueError(
-                "InferenceServer serves homogeneous Graph instances only"
-            )
-        store = as_feature_store(features)
-        if store.num_rows != graph.num_nodes:
-            raise ValueError(
-                f"features must cover the graph's {graph.num_nodes} nodes, "
-                f"got {store.num_rows} rows"
-            )
-        if window_ms < 0:
-            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+    #: ``stats()["backend"]`` discriminator; overridden per backend.
+    backend = "local"
+
+    def __init__(self, model, num_nodes: int, config: ServingConfig):
+        self.num_layers = check_layered_model(model)
         self.model = model
-        self.graph = graph
-        self.store = store
-        #: the raw matrix when the store is dense (back-compat); ``None``
-        #: for non-materialized backends — read through :attr:`store`.
-        self.features = store.matrix if isinstance(store, DenseStore) else None
-        self._store_version_seen = store.version
-        self.num_layers = num_layers
-        self.window_s = float(window_ms) / 1e3
-        self.max_batch_seeds = check_positive_int(max_batch_seeds, "max_batch_seeds")
-        self.cache: Optional[EmbeddingCache] = (
-            EmbeddingCache(cache_bytes, admission=cache_admission)
-            if cache_bytes is not None else None
-        )
-        self._version_no_cache = 1
-        self._queue: "queue.Queue" = queue.Queue(
-            maxsize=check_positive_int(max_pending, "max_pending")
-        )
+        self.config = config
+        self._num_nodes = int(num_nodes)
+        self.window_s = float(config.window_ms) / 1e3
+        self.max_batch_seeds = config.max_batch_seeds
+        self._queue: "queue.Queue" = queue.Queue(maxsize=config.max_pending)
         self._thread: Optional[threading.Thread] = None
         self._accepting = False
+        self._started = False
         self._stopped = False
         self._stats_lock = threading.Lock()
         self._requests = 0
@@ -203,32 +140,69 @@ class InferenceServer:
         self._frontier_counts: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
+    # backend hooks
+    # ------------------------------------------------------------------ #
+    def _compute(self, seeds: np.ndarray) -> Tuple[np.ndarray, int]:
+        """``(logit rows, input_layer)`` of the ascending unique ``seeds``."""
+        raise NotImplementedError
+
+    def _apply_update(self, apply_fn: Optional[Callable]) -> int:
+        """Apply ``apply_fn(model)``, invalidate caches, return the version."""
+        raise NotImplementedError
+
+    @property
+    def version(self) -> int:
+        """Current model/cache version (bumped by every :meth:`update`)."""
+        raise NotImplementedError
+
+    def _output_dtype(self):
+        """Dtype of served logit rows (for empty-request results)."""
+        raise NotImplementedError
+
+    def _backend_stats(self) -> dict:
+        """Backend section of :meth:`stats` (stores, caches, workers)."""
+        raise NotImplementedError
+
+    def _on_start(self) -> None:
+        """Bring up backend resources before the serve loop starts."""
+
+    def _on_stop(self) -> None:
+        """Release backend resources after the serve loop has drained."""
+
+    # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def start(self) -> "InferenceServer":
+    def start(self):
         """Spawn the serving worker (idempotent until :meth:`stop`)."""
         if self._stopped:
-            raise RuntimeError("InferenceServer cannot be restarted after stop()")
+            raise RuntimeError(
+                f"{type(self).__name__} cannot be restarted after stop()"
+            )
         if self._thread is None:
             self.model.eval()
+            self._on_start()
             self._accepting = True
+            self._started = True
             self._thread = threading.Thread(
                 target=self._serve_loop, name="inference-server", daemon=True
             )
             self._thread.start()
         return self
 
-    def stop(self, timeout: Optional[float] = 30.0) -> None:
+    def stop(self, timeout: Optional[float] = None) -> None:
         """Drain already-queued requests, then stop the worker."""
         if self._thread is None or self._stopped:
             self._stopped = True
             return
+        if timeout is None:
+            timeout = self.config.stop_timeout_s
         self._accepting = False
         self._queue.put(_STOP)
         self._thread.join(timeout)
+        self._on_stop()
         self._stopped = True
 
-    def __enter__(self) -> "InferenceServer":
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -237,6 +211,17 @@ class InferenceServer:
     @property
     def running(self) -> bool:
         return self._accepting and self._thread is not None and self._thread.is_alive()
+
+    def _check_running(self) -> None:
+        if self.running:
+            return
+        name = type(self).__name__
+        if not self._started:
+            raise RuntimeError(
+                f"{name} is not running — it was never started; call "
+                f"start() (or use the server as a context manager) first"
+            )
+        raise RuntimeError(f"{name} is not running (call start())")
 
     # ------------------------------------------------------------------ #
     # client API
@@ -248,12 +233,11 @@ class InferenceServer:
         only when the request queue is full (backpressure), up to
         ``timeout`` seconds.
         """
-        ids = check_1d_int_array(node_ids, "node_ids", max_value=self.graph.num_nodes)
-        if not self.running:
-            raise RuntimeError("InferenceServer is not running (call start())")
+        ids = check_1d_int_array(node_ids, "node_ids", max_value=self._num_nodes)
+        self._check_running()
         item = _Predict(ids)
         if ids.size == 0:
-            item.future.set_result(np.empty((0, 0), dtype=self.store.dtype))
+            item.future.set_result(np.empty((0, 0), dtype=self._output_dtype()))
             return item.future
         try:
             self._queue.put(item, timeout=timeout)
@@ -265,13 +249,15 @@ class InferenceServer:
             self._requests += 1
         return item.future
 
-    def predict(self, node_ids, timeout: Optional[float] = 30.0) -> np.ndarray:
+    def predict(self, node_ids, timeout: Optional[float] = None) -> np.ndarray:
         """Blocking :meth:`predict_async`; returns the logit rows."""
+        if timeout is None:
+            timeout = self.config.predict_timeout_s
         return self.predict_async(node_ids, timeout=timeout).result(timeout)
 
     def update(self, apply_fn: Optional[Callable] = None,
                timeout: Optional[float] = 30.0) -> int:
-        """Apply a model mutation on the worker thread and invalidate the cache.
+        """Apply a model mutation on the worker thread and invalidate caches.
 
         ``apply_fn(model)`` (if given) runs serialized between batches:
         requests enqueued before this call are served by the old model and
@@ -279,8 +265,7 @@ class InferenceServer:
         version number.  ``update()`` with no function is a pure version
         bump — e.g. after swapping the feature matrix's contents in place.
         """
-        if not self.running:
-            raise RuntimeError("InferenceServer is not running (call start())")
+        self._check_running()
         item = _Control(apply_fn)
         self._queue.put(item, timeout=timeout)
         return item.future.result(timeout)
@@ -289,15 +274,18 @@ class InferenceServer:
         """Invalidate cached activations without touching the model."""
         return self.update(None, timeout=timeout)
 
-    @property
-    def version(self) -> int:
-        """Current model/cache version (bumped by every :meth:`update`)."""
-        return self.cache.version if self.cache is not None else self._version_no_cache
-
     def stats(self) -> dict:
-        """Telemetry snapshot: micro-batching, frontier, and cache counters."""
+        """Telemetry snapshot in the shape shared by both backends.
+
+        See ``docs/serving.md`` ("The stats() shape") for the documented
+        key-by-key reference; the backend section comes from
+        :meth:`_backend_stats` (``workers`` is ``None`` on the local
+        backend, a per-worker list on the distributed one).
+        """
         with self._stats_lock:
             snapshot = {
+                "backend": self.backend,
+                "running": self.running,
                 "requests": self._requests,
                 "served_requests": self._served_requests,
                 "batches": self._batches,
@@ -309,11 +297,7 @@ class InferenceServer:
                 "queue_depth": self._queue.qsize(),
             }
         snapshot["version"] = self.version
-        snapshot["store_version"] = self.store.version
-        snapshot["embedding_cache"] = (
-            self.cache.stats() if self.cache is not None else None
-        )
-        snapshot["feature_store"] = self.store.stats() or None
+        snapshot.update(self._backend_stats())
         snapshot["plan_cache"] = shared_plan_cache().stats()
         return snapshot
 
@@ -359,14 +343,7 @@ class InferenceServer:
 
     def _handle_control(self, item: _Control) -> None:
         try:
-            if item.apply_fn is not None:
-                item.apply_fn(self.model)
-                self.model.eval()
-            if self.cache is not None:
-                version = self.cache.bump_version()
-            else:
-                self._version_no_cache += 1
-                version = self._version_no_cache
+            version = self._apply_update(item.apply_fn)
             with self._stats_lock:
                 self._updates += 1
             item.future.set_result(version)
@@ -402,6 +379,166 @@ class InferenceServer:
             for item in batch:
                 if not item.future.done():
                     item.future.set_exception(exc)
+
+
+#: keyword arguments the deprecated loose-construction shim still accepts.
+_LEGACY_KWARGS = (
+    "window_ms", "max_batch_seeds", "max_pending", "cache_bytes",
+    "cache_admission",
+)
+
+
+class InferenceServer(_MicroBatchServerBase):
+    """Serve ``predict(node_ids)`` over a trained model with micro-batching.
+
+    Parameters
+    ----------
+    model:
+        A trained module exposing ``num_layers`` and ``forward_layer(index,
+        graph, x)`` (every ``repro.nn`` model).  Switched to ``eval()`` on
+        :meth:`start` and kept there; mutate it only through :meth:`update`.
+    graph:
+        The full homogeneous :class:`~repro.graph.graph.Graph` (hetero
+        serving would need per-relation pipelines — not supported yet).
+    features:
+        ``(num_nodes, in_features)`` input feature matrix (read-only), or
+        any :class:`~repro.store.FeatureStore` covering the graph's nodes —
+        batch input rows are gathered through the store, so serving runs
+        unchanged over partitioned KV features or a trained embedding table.
+        The store's own :attr:`~repro.store.FeatureStore.version` composes
+        with the activation-cache version: when the store reports a new
+        version (features replaced, embedding rows stepped), the next batch
+        bumps the cache version, so stale activations are never served.
+    config:
+        A :class:`~repro.serving.ServingConfig` carrying the micro-batching
+        window, the embedding-cache ``byte_budget`` / ``cache_admission``,
+        queue bound, and timeouts.  ``None`` uses the defaults.  Prefer
+        constructing through :func:`repro.serving.create_server`.
+
+    The pre-redesign loose keyword form (``window_ms=``, ``cache_bytes=``,
+    ``cache_admission=``, ``max_batch_seeds=``, ``max_pending=``) still
+    works for one release behind a :class:`DeprecationWarning` that maps it
+    onto a :class:`~repro.serving.ServingConfig` (``cache_bytes`` becomes
+    ``byte_budget``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.datasets import make_sbm_dataset
+    >>> from repro.nn.models import GraphSageNet
+    >>> from repro.serving import ServingConfig, create_server
+    >>> from repro.utils.seed import set_seed
+    >>> set_seed(0)
+    >>> ds = make_sbm_dataset(name="s", num_nodes=80, num_classes=3,
+    ...                       feature_dim=8, p_in=0.1, p_out=0.02)
+    >>> model = GraphSageNet(8, 16, 3, num_layers=2, dropout=0.0)
+    >>> config = ServingConfig(byte_budget=1 << 20)
+    >>> with create_server(model, ds.graph, ds.features, config) as server:
+    ...     logits = server.predict([3, 1, 4, 1])
+    >>> logits.shape
+    (4, 3)
+    """
+
+    backend = "local"
+
+    def __init__(
+        self,
+        model,
+        graph: Graph,
+        features,
+        config: Optional[ServingConfig] = None,
+        **kwargs,
+    ):
+        if isinstance(config, (int, float)) and not isinstance(config, bool):
+            # Legacy positional call: the fourth argument used to be
+            # window_ms.  Fold it into the deprecated-kwargs path below.
+            kwargs["window_ms"] = config
+            config = None
+        if kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=ServingConfig(...) or the deprecated "
+                    f"loose keywords, not both (got {sorted(kwargs)})"
+                )
+            unknown = sorted(set(kwargs) - set(_LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"InferenceServer got unexpected keyword arguments "
+                    f"{unknown}; supported legacy keywords are "
+                    f"{sorted(_LEGACY_KWARGS)}"
+                )
+            warnings.warn(
+                "constructing InferenceServer from loose keyword arguments "
+                "is deprecated and will be removed in the next release; "
+                "build a ServingConfig (cache_bytes is now byte_budget) and "
+                "call repro.serving.create_server(model, graph, features, "
+                "config)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            mapped = dict(kwargs)
+            mapped["byte_budget"] = mapped.pop("cache_bytes", None)
+            config = ServingConfig(**mapped)
+        if config is None:
+            config = ServingConfig()
+        if config.backend != "local":
+            raise ValueError(
+                f"InferenceServer is the local backend; "
+                f"config.backend={config.backend!r} (use "
+                f"repro.serving.create_server to dispatch on the backend)"
+            )
+        if not isinstance(graph, Graph):
+            raise ValueError(
+                "InferenceServer serves homogeneous Graph instances only"
+            )
+        store = as_feature_store(features)
+        if store.num_rows != graph.num_nodes:
+            raise ValueError(
+                f"features must cover the graph's {graph.num_nodes} nodes, "
+                f"got {store.num_rows} rows"
+            )
+        super().__init__(model, graph.num_nodes, config)
+        self.graph = graph
+        self.store = store
+        #: the raw matrix when the store is dense (back-compat); ``None``
+        #: for non-materialized backends — read through :attr:`store`.
+        self.features = store.matrix if isinstance(store, DenseStore) else None
+        self._store_version_seen = store.version
+        self.cache: Optional[EmbeddingCache] = (
+            EmbeddingCache(config.byte_budget, admission=config.cache_admission)
+            if config.byte_budget is not None else None
+        )
+        self._version_no_cache = 1
+
+    # ------------------------------------------------------------------ #
+    # backend hooks
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Current model/cache version (bumped by every :meth:`update`)."""
+        return self.cache.version if self.cache is not None else self._version_no_cache
+
+    def _output_dtype(self):
+        return self.store.dtype
+
+    def _apply_update(self, apply_fn: Optional[Callable]) -> int:
+        if apply_fn is not None:
+            apply_fn(self.model)
+            self.model.eval()
+        if self.cache is not None:
+            return self.cache.bump_version()
+        self._version_no_cache += 1
+        return self._version_no_cache
+
+    def _backend_stats(self) -> dict:
+        return {
+            "store_version": self.store.version,
+            "embedding_cache": (
+                self.cache.stats() if self.cache is not None else None
+            ),
+            "feature_store": self.store.stats() or None,
+            "workers": None,
+        }
 
     def _sync_store_version(self) -> None:
         # Compose the feature store's version into the serving version: a

@@ -96,6 +96,16 @@ class FeatureStore(abc.ABC):
             "trainable backends (SparseEmbeddingStore) accept gradients"
         )
 
+    # -- lifecycle --------------------------------------------------------- #
+    def release(self) -> None:
+        """Release externally held resources (published rows, caches).
+
+        A no-op for resident backends; :class:`~repro.store.
+        PartitionedKVStore` unpublishes its rows.  Long-lived owners (the
+        distributed serving backend) call this on shutdown so stores can be
+        torn down uniformly without backend checks.
+        """
+
     # -- telemetry -------------------------------------------------------- #
     def stats(self) -> Dict[str, int]:
         """Backend telemetry (cache hits, bytes moved, ...); may be empty."""

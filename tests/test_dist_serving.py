@@ -1,0 +1,433 @@
+"""Distributed serving: bit-parity over shards, one configured API surface.
+
+The subsystem contract under test (``repro/serving/``):
+
+* every logit row served by
+  :class:`~repro.serving.DistributedInferenceServer` (per-shard workers,
+  cooperative restricted grids, halo fetches for cache-missed frontier rows)
+  is **bit-identical** to the single-machine
+  :class:`~repro.serving.InferenceServer` on the same graph — for every conv
+  kind, cold and warm caches, and under concurrent clients;
+* ``update()`` serializes behind in-flight batches and invalidates the
+  embedding cache on **every** shard; a feature-store ``replace()`` folds in
+  at the next batch on every shard;
+* :func:`~repro.serving.create_server` is the one public entry point:
+  :class:`~repro.serving.ServingConfig` selects the backend, both backends
+  implement :class:`~repro.serving.ServerProtocol` and share one ``stats()``
+  shape (plus per-worker halo/frontier/cache telemetry on the distributed
+  one);
+* the pre-redesign loose-keyword ``InferenceServer(...)`` form still works
+  behind a :class:`DeprecationWarning` naming the migration;
+* calling ``update()``/``predict()`` on a never-started server raises a
+  RuntimeError that says so (regression: it used to be indistinguishable
+  from a stopped server).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sbm_dataset
+from repro.nn.models import GATNet, GraphSageNet
+from repro.partition import PartitionBook, create_shards, partition_graph
+from repro.serving import (
+    DistributedInferenceServer,
+    InferenceServer,
+    ServerProtocol,
+    ServingConfig,
+    create_server,
+)
+from repro.store import DenseStore
+from repro.tensor import Tensor, no_grad
+from repro.utils.seed import set_seed
+
+#: per-worker serving telemetry keys (CommStats.serving_snapshot()).
+_COMM_KEYS = {
+    "halo_bytes_sent", "halo_bytes_received",
+    "frontier_bytes_sent", "frontier_bytes_received",
+    "cache_hit_rows", "cache_miss_rows", "cache_hit_bytes",
+}
+
+
+@pytest.fixture
+def dataset():
+    return make_sbm_dataset(
+        name="dist-serving-sbm",
+        num_nodes=180,
+        num_classes=4,
+        feature_dim=10,
+        p_in=0.12,
+        p_out=0.02,
+    )
+
+
+def _make_model(dataset, kind="sage"):
+    set_seed(0)
+    if kind == "gat":
+        return GATNet(
+            dataset.feature_dim, 8, dataset.num_classes, num_layers=2,
+            num_heads=2, dropout=0.0, use_batch_norm=True,
+        )
+    return GraphSageNet(
+        dataset.feature_dim, 16, dataset.num_classes, num_layers=2,
+        dropout=0.5, use_batch_norm=True,
+    )
+
+
+def _make_shards(dataset, world_size):
+    book = PartitionBook(
+        partition_graph(dataset.graph, world_size, seed=0), world_size
+    )
+    return create_shards(dataset.graph, book)
+
+
+def _reference_logits(model, graph, features):
+    model.eval()
+    with no_grad():
+        return model(graph, Tensor(features)).data
+
+
+# --------------------------------------------------------------------------- #
+# parity matrix: distributed == single-machine, bit for bit
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["sage", "gat"])
+@pytest.mark.parametrize("byte_budget", [None, 1 << 20])
+def test_distributed_bit_identical_to_local_server(dataset, kind, byte_budget):
+    """sage/gat x cache-on/off x cold+warm: exact rows from 2 shards."""
+    model = _make_model(dataset, kind)
+    streams = [[5], [3, 1, 4, 1, 5], [0, 179], list(range(40))]
+    with create_server(
+        model, dataset.graph, dataset.features,
+        ServingConfig(window_ms=0.0, byte_budget=byte_budget),
+    ) as local:
+        expected = [local.predict(ids) for ids in streams]
+
+    shards = _make_shards(dataset, 2)
+    config = ServingConfig(
+        backend="distributed", window_ms=0.0, byte_budget=byte_budget
+    )
+    with create_server(model, shards, dataset.features, config) as server:
+        assert isinstance(server, DistributedInferenceServer)
+        for ids, want in zip(streams, expected):  # cold caches
+            np.testing.assert_array_equal(server.predict(ids), want)
+        for ids, want in zip(streams, expected):  # warm caches
+            np.testing.assert_array_equal(server.predict(ids), want)
+        stats = server.stats()
+    if byte_budget is not None:
+        # Warm repeats hit the all-logits fast path on every shard.
+        assert stats["fast_path_batches"] >= 1
+    assert stats["served_requests"] == 2 * len(streams)
+
+
+def test_concurrent_clients_distributed_bit_identical(dataset):
+    """Coalesced concurrent requests over 3 shards all get exact rows."""
+    model = _make_model(dataset, "gat")
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    rng = np.random.default_rng(11)
+    streams = [
+        rng.integers(0, dataset.graph.num_nodes, size=10) for _ in range(6)
+    ]
+    errors = []
+    shards = _make_shards(dataset, 3)
+    config = ServingConfig(
+        backend="distributed", window_ms=2.0, byte_budget=1 << 20
+    )
+    with create_server(model, shards, dataset.features, config) as server:
+
+        def client(stream):
+            try:
+                for node in stream:
+                    row = server.predict([int(node)])
+                    np.testing.assert_array_equal(row[0], reference[node])
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in streams]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = server.stats()
+    assert not errors
+    assert stats["served_requests"] == sum(len(s) for s in streams)
+
+
+# --------------------------------------------------------------------------- #
+# invalidation: updates and store versions reach every shard
+# --------------------------------------------------------------------------- #
+def test_update_invalidates_every_shard(dataset):
+    model = _make_model(dataset)
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    ids = [3, 17, 90, 140]
+    shards = _make_shards(dataset, 2)
+    config = ServingConfig(
+        backend="distributed", window_ms=0.0, byte_budget=1 << 20
+    )
+    with create_server(model, shards, dataset.features, config) as server:
+        np.testing.assert_array_equal(server.predict(ids), reference[ids])
+        assert server.version == 1
+
+        def perturb(m):
+            for param in m.parameters():
+                param.data[...] = param.data + 0.25
+
+        assert server.update(perturb) == 2
+        new_reference = _reference_logits(model, dataset.graph, dataset.features)
+        assert not np.array_equal(new_reference, reference)
+        np.testing.assert_array_equal(server.predict(ids), new_reference[ids])
+        stats = server.stats()
+    assert stats["updates"] == 1
+    assert stats["embedding_cache"]["version"] == 2
+    for worker in stats["workers"]:
+        assert worker["embedding_cache"]["version"] == 2
+        assert worker["embedding_cache"]["invalidations"] >= 1
+
+
+def test_store_replace_folds_into_every_shard(dataset):
+    """A shared store's replace() invalidates all shards at the next batch."""
+    model = _make_model(dataset)
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    ids = [3, 17, 90]
+    store = DenseStore(dataset.features.copy())
+    shards = _make_shards(dataset, 2)
+    config = ServingConfig(
+        backend="distributed", window_ms=0.0, byte_budget=1 << 20
+    )
+    with create_server(model, shards, store, config) as server:
+        np.testing.assert_array_equal(server.predict(ids), reference[ids])
+        fresh = dataset.features * 1.5
+        store.replace(fresh)
+        new_reference = _reference_logits(model, dataset.graph, fresh)
+        assert not np.array_equal(new_reference, reference)
+        np.testing.assert_array_equal(server.predict(ids), new_reference[ids])
+        stats = server.stats()
+    assert stats["store_version"] == 2
+    for worker in stats["workers"]:
+        assert worker["embedding_cache"]["invalidations"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# feature delivery forms
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("form", ["global-kv", "per-worker-kv", "global-dense"])
+def test_feature_forms_serve_identical_rows(dataset, form):
+    model = _make_model(dataset)
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    ids = [7, 42, 100, 150]
+    shards = _make_shards(dataset, 2)
+    book = shards[0].book
+    if form == "per-worker-kv":
+        features = [dataset.features[book.nodes_of(p)] for p in range(2)]
+    else:
+        features = dataset.features
+    store_kind = "dense" if form == "global-dense" else "kv"
+    config = ServingConfig(
+        backend="distributed", window_ms=0.0, feature_store=store_kind
+    )
+    with create_server(model, shards, features, config) as server:
+        np.testing.assert_array_equal(server.predict(ids), reference[ids])
+        stats = server.stats()
+    if store_kind == "kv":
+        # PartitionedKVStore telemetry surfaces per worker and aggregated.
+        for worker in stats["workers"]:
+            assert worker["feature_store"]
+        assert stats["feature_store"]
+
+
+# --------------------------------------------------------------------------- #
+# the redesigned API surface
+# --------------------------------------------------------------------------- #
+def test_factory_dispatches_on_backend(dataset):
+    model = _make_model(dataset)
+    shards = _make_shards(dataset, 2)
+    local = create_server(model, dataset.graph, dataset.features)
+    assert isinstance(local, InferenceServer)
+    assert isinstance(local, ServerProtocol)
+    assert not local.running
+    dist = create_server(
+        model, shards, dataset.features, ServingConfig(backend="distributed")
+    )
+    assert isinstance(dist, DistributedInferenceServer)
+    assert isinstance(dist, ServerProtocol)
+    assert not dist.running
+
+
+def test_factory_rejects_mismatched_topology(dataset):
+    model = _make_model(dataset)
+    shards = _make_shards(dataset, 2)
+    with pytest.raises(ValueError, match="backend='distributed'"):
+        create_server(model, shards, dataset.features)  # shard list, local
+    with pytest.raises(ValueError, match="create_shards"):
+        create_server(
+            model, dataset.graph, dataset.features,
+            ServingConfig(backend="distributed"),
+        )
+    with pytest.raises(ValueError, match="ServingConfig"):
+        create_server(model, dataset.graph, dataset.features, config={"window_ms": 1})
+    with pytest.raises(ValueError, match="local backend"):
+        InferenceServer(
+            model, dataset.graph, dataset.features,
+            config=ServingConfig(backend="distributed"),
+        )
+    with pytest.raises(ValueError, match="distributed backend"):
+        DistributedInferenceServer(
+            model, shards, dataset.features, config=ServingConfig()
+        )
+    with pytest.raises(ValueError, match="rank order"):
+        DistributedInferenceServer(
+            model, shards[::-1], dataset.features,
+            config=ServingConfig(backend="distributed"),
+        )
+
+
+def test_serving_config_validates():
+    with pytest.raises(ValueError, match="backend"):
+        ServingConfig(backend="remote")
+    with pytest.raises(ValueError, match="window_ms"):
+        ServingConfig(window_ms=-1.0)
+    with pytest.raises(ValueError, match="byte_budget"):
+        ServingConfig(byte_budget=0)
+    with pytest.raises(ValueError, match="cache_admission"):
+        ServingConfig(cache_admission="lfu")
+    with pytest.raises(ValueError, match="feature_store"):
+        ServingConfig(feature_store="mmap")
+    with pytest.raises(ValueError, match="restriction_slots"):
+        ServingConfig(restriction_slots=0)
+
+
+def test_legacy_kwargs_deprecated_but_equivalent(dataset):
+    model = _make_model(dataset)
+    with pytest.warns(DeprecationWarning, match="cache_bytes is now byte_budget"):
+        server = InferenceServer(
+            model, dataset.graph, dataset.features,
+            window_ms=5.0, cache_bytes=1 << 16, cache_admission="frequency",
+        )
+    assert server.config == ServingConfig(
+        window_ms=5.0, byte_budget=1 << 16, cache_admission="frequency"
+    )
+    # The warning names the replacement entry point.
+    with pytest.warns(DeprecationWarning, match="create_server"):
+        InferenceServer(model, dataset.graph, dataset.features, window_ms=0.0)
+    # Legacy positional window_ms (4th argument) takes the same shim.
+    with pytest.warns(DeprecationWarning):
+        positional = InferenceServer(model, dataset.graph, dataset.features, 7.5)
+    assert positional.config.window_ms == 7.5
+    with pytest.raises(TypeError, match="not both"):
+        InferenceServer(
+            model, dataset.graph, dataset.features,
+            config=ServingConfig(), window_ms=1.0,
+        )
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        InferenceServer(model, dataset.graph, dataset.features, cache_mb=4)
+
+
+def test_legacy_kwargs_still_serve_bit_identical(dataset):
+    model = _make_model(dataset)
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    with pytest.warns(DeprecationWarning):
+        server = InferenceServer(
+            model, dataset.graph, dataset.features,
+            window_ms=0.0, cache_bytes=1 << 20,
+        )
+    with server:
+        ids = [9, 2, 9, 0, 2]
+        np.testing.assert_array_equal(server.predict(ids), reference[ids])
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle regressions
+# --------------------------------------------------------------------------- #
+def test_update_on_never_started_server_raises_clearly(dataset):
+    """Regression: update()/predict() pre-start must say "never started"."""
+    model = _make_model(dataset)
+    shards = _make_shards(dataset, 2)
+    for server in (
+        InferenceServer(model, dataset.graph, dataset.features),
+        DistributedInferenceServer(
+            model, shards, dataset.features,
+            config=ServingConfig(backend="distributed"),
+        ),
+    ):
+        with pytest.raises(RuntimeError, match="never started"):
+            server.update(lambda m: None)
+        with pytest.raises(RuntimeError, match="never started"):
+            server.predict([0])
+        # Both phrasings keep the historical "not running" needle.
+        with pytest.raises(RuntimeError, match="not running"):
+            server.update()
+
+
+def test_stopped_server_message_differs_from_never_started(dataset):
+    model = _make_model(dataset)
+    server = InferenceServer(model, dataset.graph, dataset.features)
+    server.start()
+    server.stop()
+    with pytest.raises(RuntimeError, match="not running") as excinfo:
+        server.update()
+    assert "never started" not in str(excinfo.value)
+    with pytest.raises(RuntimeError, match="restarted"):
+        server.start()
+
+
+def test_distributed_lifecycle_and_validation(dataset):
+    model = _make_model(dataset)
+    shards = _make_shards(dataset, 2)
+    config = ServingConfig(backend="distributed", window_ms=0.0)
+    server = create_server(model, shards, dataset.features, config)
+    server.start()
+    assert server.running
+    assert server.predict(np.array([], dtype=np.int64)).size == 0
+    with pytest.raises(ValueError, match="node_ids"):
+        server.predict([dataset.graph.num_nodes])
+    with pytest.raises(ValueError, match="node_ids"):
+        server.predict([-1])
+    server.stop()
+    assert not server.running
+    with pytest.raises(RuntimeError, match="not running"):
+        server.predict([0])
+    with pytest.raises(RuntimeError, match="restarted"):
+        server.start()
+
+
+# --------------------------------------------------------------------------- #
+# one stats() shape, two backends
+# --------------------------------------------------------------------------- #
+def test_stats_shape_is_shared_and_workers_carry_comm_telemetry(dataset):
+    model = _make_model(dataset)
+    ids = [3, 17, 90, 140]
+    with create_server(
+        model, dataset.graph, dataset.features,
+        ServingConfig(window_ms=0.0, byte_budget=1 << 20),
+    ) as local:
+        local.predict(ids)
+        local_stats = local.stats()
+    shards = _make_shards(dataset, 2)
+    config = ServingConfig(
+        backend="distributed", window_ms=0.0, byte_budget=1 << 20
+    )
+    with create_server(model, shards, dataset.features, config) as dist:
+        dist.predict(ids)
+        dist.predict(ids)  # warm repeat exercises cache telemetry
+        dist_stats = dist.stats()
+
+    assert set(local_stats) == set(dist_stats)
+    assert local_stats["backend"] == "local"
+    assert local_stats["workers"] is None
+    assert dist_stats["backend"] == "distributed"
+    workers = dist_stats["workers"]
+    assert [w["rank"] for w in workers] == [0, 1]
+    for worker in workers:
+        assert {"rank", "embedding_cache", "feature_store", "comm"} <= set(worker)
+        assert _COMM_KEYS <= set(worker["comm"])
+    # The cooperative walk moved frontier bytes; activations crossed shard
+    # boundaries through the halo fetch path on at least one worker.
+    assert sum(w["comm"]["frontier_bytes_sent"] for w in workers) > 0
+    assert sum(w["comm"]["halo_bytes_received"] for w in workers) > 0
+    # Aggregated embedding-cache counters cover the per-worker caches.
+    agg = dist_stats["embedding_cache"]
+    assert agg["hits"] == sum(
+        w["embedding_cache"]["hits"] for w in workers
+    )

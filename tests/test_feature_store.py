@@ -17,7 +17,7 @@ from repro.partition import PartitionBook
 from repro.sample.inference import LayerWiseInference
 from repro.sample.loader import MiniBatchDataLoader, NeighborSamplingConfig
 from repro.sample.neighbor import NeighborSampler
-from repro.serving import InferenceServer
+from repro.serving import InferenceServer, ServingConfig
 from repro.serving.cache import EmbeddingCache
 from repro.store import (
     DenseStore,
@@ -522,11 +522,13 @@ class TestStoreParityMatrix:
         model.eval()
         seeds = [0, 7, 31, 7]
         with InferenceServer(model, dataset.graph, dataset.features,
-                             window_ms=0.0) as plain:
+                             config=ServingConfig(window_ms=0.0)) as plain:
             raw = plain.predict(seeds)
         with InferenceServer(model, dataset.graph,
                              DenseStore(dataset.features),
-                             window_ms=0.0, cache_bytes=1 << 20) as stored:
+                             config=ServingConfig(
+                                 window_ms=0.0, byte_budget=1 << 20,
+                             )) as stored:
             via_store = stored.predict(seeds)
         assert np.array_equal(raw, via_store)
 
@@ -592,8 +594,10 @@ class TestServingStoreVersion:
         model.eval()
         store = DenseStore(dataset.features.copy())
         seeds = [1, 2, 3]
-        with InferenceServer(model, dataset.graph, store, window_ms=0.0,
-                             cache_bytes=1 << 20) as server:
+        with InferenceServer(model, dataset.graph, store,
+                             config=ServingConfig(
+                                 window_ms=0.0, byte_budget=1 << 20,
+                             )) as server:
             first = server.predict(seeds)
             server.predict(seeds)  # warm the activation cache
             store.replace(dataset.features * 0.5)

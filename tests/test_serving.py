@@ -24,7 +24,7 @@ import pytest
 
 from repro.datasets import make_sbm_dataset
 from repro.nn.models import GATNet, GraphSageNet
-from repro.serving import EmbeddingCache, InferenceServer
+from repro.serving import EmbeddingCache, InferenceServer, ServingConfig
 from repro.tensor import Tensor, no_grad
 from repro.tensor import edge_plan as edge_plan_mod
 from repro.utils.seed import set_seed
@@ -70,9 +70,9 @@ def _reference_logits(model, graph, features):
 def test_served_logits_bit_identical(dataset, kind, window_ms, cache_bytes):
     model = _make_model(dataset, kind)
     reference = _reference_logits(model, dataset.graph, dataset.features)
+    config = ServingConfig(window_ms=window_ms, byte_budget=cache_bytes)
     with InferenceServer(
-        model, dataset.graph, dataset.features,
-        window_ms=window_ms, cache_bytes=cache_bytes,
+        model, dataset.graph, dataset.features, config=config
     ) as server:
         for ids in ([5], [3, 1, 4, 1, 5], [0, 199], list(range(40))):
             np.testing.assert_array_equal(server.predict(ids), reference[ids])
@@ -95,9 +95,9 @@ def test_concurrent_clients_bit_identical(dataset, window_ms, cache_bytes):
         streams.append(mixed)
     errors = []
 
+    config = ServingConfig(window_ms=window_ms, byte_budget=cache_bytes)
     with InferenceServer(
-        model, dataset.graph, dataset.features,
-        window_ms=window_ms, cache_bytes=cache_bytes,
+        model, dataset.graph, dataset.features, config=config
     ) as server:
 
         def client(stream):
@@ -135,7 +135,8 @@ def test_window_coalesces_async_requests(dataset):
     model = _make_model(dataset)
     reference = _reference_logits(model, dataset.graph, dataset.features)
     with InferenceServer(
-        model, dataset.graph, dataset.features, window_ms=200.0
+        model, dataset.graph, dataset.features,
+        config=ServingConfig(window_ms=200.0),
     ) as server:
         futures = [server.predict_async([i, i + 1]) for i in range(12)]
         for i, future in enumerate(futures):
@@ -150,7 +151,8 @@ def test_window_coalesces_async_requests(dataset):
 def test_window_zero_serves_one_request_per_batch(dataset):
     model = _make_model(dataset)
     with InferenceServer(
-        model, dataset.graph, dataset.features, window_ms=0.0
+        model, dataset.graph, dataset.features,
+        config=ServingConfig(window_ms=0.0),
     ) as server:
         for i in range(5):
             server.predict([i])
@@ -163,7 +165,7 @@ def test_max_batch_seeds_closes_window_early(dataset):
     model = _make_model(dataset)
     with InferenceServer(
         model, dataset.graph, dataset.features,
-        window_ms=500.0, max_batch_seeds=4,
+        config=ServingConfig(window_ms=500.0, max_batch_seeds=4),
     ) as server:
         futures = [server.predict_async([i]) for i in range(8)]
         for future in futures:
@@ -183,7 +185,8 @@ def test_repeated_topology_builds_zero_plans(dataset):
     reference = _reference_logits(model, dataset.graph, dataset.features)
     ids = [7, 11, 42]
     with InferenceServer(
-        model, dataset.graph, dataset.features, window_ms=0.0
+        model, dataset.graph, dataset.features,
+        config=ServingConfig(window_ms=0.0),
     ) as server:
         server.predict(ids)  # builds (or reuses) this topology's plans
         built = edge_plan_mod.build_counter
@@ -203,7 +206,7 @@ def test_repeat_request_takes_logits_fast_path(dataset):
     ids = [3, 17, 90]
     with InferenceServer(
         model, dataset.graph, dataset.features,
-        window_ms=0.0, cache_bytes=1 << 20,
+        config=ServingConfig(window_ms=0.0, byte_budget=1 << 20),
     ) as server:
         server.predict(ids)
         np.testing.assert_array_equal(server.predict(ids), reference[ids])
@@ -222,7 +225,7 @@ def test_version_bump_invalidates_and_reserves_fresh_rows(dataset):
     ids = [3, 17, 90]
     with InferenceServer(
         model, dataset.graph, dataset.features,
-        window_ms=0.0, cache_bytes=1 << 20,
+        config=ServingConfig(window_ms=0.0, byte_budget=1 << 20),
     ) as server:
         np.testing.assert_array_equal(server.predict(ids), reference[ids])
         assert server.version == 1
@@ -287,7 +290,8 @@ def test_lifecycle_and_input_validation(dataset):
     with pytest.raises(ValueError, match="rows"):
         InferenceServer(model, dataset.graph, dataset.features[:-1])
     with pytest.raises(ValueError, match="window_ms"):
-        InferenceServer(model, dataset.graph, dataset.features, window_ms=-1.0)
+        InferenceServer(model, dataset.graph, dataset.features,
+                        config=ServingConfig(window_ms=-1.0))
     with pytest.raises(ValueError, match="forward_layer"):
         InferenceServer(object(), dataset.graph, dataset.features)
     with pytest.raises(ValueError, match="Graph"):
