@@ -6,14 +6,27 @@ per-worker shards and every batch is computed cooperatively: each worker
 executes the restricted grid over the destinations it owns, publishes its
 layer rows, and peers fetch only the frontier rows their embedding cache
 missed.  This benchmark prices that cooperation: requests/sec and p50/p99
-latency at 2 and 4 shards (thread-backend workers) against the
-single-machine server on the identical Zipf workload, cold and warm caches,
-plus the halo / frontier bytes the cluster moved per pass.
+latency at 2 and 4 shards against the single-machine server on the
+identical Zipf workload, cold and warm caches, plus the halo / frontier
+bytes the cluster moved per pass.
+
+``--backend`` selects the cluster substrate: ``thread``
+(:class:`~repro.serving.DistributedInferenceServer`, shard worker threads —
+rows named ``shards{N}_*``), ``mp``
+(:class:`~repro.serving.MultiprocessInferenceServer`, one forked process
+per shard crossing a Manager-backed communicator — rows named ``mp{N}_*``),
+or ``both`` (the default, and what the committed baseline contains).  The
+mp rows are expected to be much slower than the thread rows at these tiny
+benchmark sizes: every inter-worker byte is pickled through multiprocessing
+queues and Manager proxies, a constant tax the small graphs never amortize
+— the row exists to keep the process backend's parity and overhead honest,
+not to win.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_dist_serving.py            # full run
     PYTHONPATH=src python benchmarks/bench_dist_serving.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_dist_serving.py --backend mp
 
 Correctness gates (asserted in both modes):
 
@@ -60,6 +73,9 @@ FULL_SIZES = dict(
     cache_mb=64,
     zipf_a=1.1,
     worlds=(2, 4),
+    # The mp backend pays per-byte Manager/queue costs, so it runs the
+    # small world only; one row is enough to gate parity and overhead.
+    mp_worlds=(2,),
 )
 SMOKE_SIZES = dict(
     scale=0.5,
@@ -71,6 +87,7 @@ SMOKE_SIZES = dict(
     cache_mb=32,
     zipf_a=1.1,
     worlds=(2,),
+    mp_worlds=(2,),
 )
 
 
@@ -80,6 +97,15 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="tiny workload + parity/fast-path assertions (CI gate)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "mp", "both"),
+        default="both",
+        help=(
+            "cluster substrate: shard worker threads, forked shard "
+            "processes, or both (default)"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -157,25 +183,37 @@ def main(argv=None) -> int:
     ) as local:
         drive("local", local)
 
-    for world in sizes["worlds"]:
+    def run_cluster(kind, world):
+        """Cold + warm passes of one shard cluster; returns the row prefix."""
+        prefix = f"shards{world}" if kind == "thread" else f"mp{world}"
+        backend = "distributed" if kind == "thread" else "mp"
         book = PartitionBook(partition_graph(graph, world, seed=0), world)
         shards = create_shards(graph, book)
-        config = ServingConfig(backend="distributed", **serving_config)
+        config = ServingConfig(backend=backend, **serving_config)
         with create_server(model, shards, features, config) as server:
-            cold = drive(f"shards{world}_cold", server)
-            drive(f"shards{world}_warm", server, before=cold)
-        warm = results[f"shards{world}_warm"]
+            cold = drive(f"{prefix}_cold", server)
+            drive(f"{prefix}_warm", server, before=cold)
+        warm = results[f"{prefix}_warm"]
         assert warm["fast_path_batches"] >= 1, (
-            f"warm pass at {world} shards never hit the all-logits fast path"
+            f"warm {kind} pass at {world} shards never hit the all-logits "
+            f"fast path"
         )
-        results[f"shards{world}_summary"] = {
+        results[f"{prefix}_summary"] = {
             "rps_vs_local": round(
                 warm["requests_per_sec"]
                 / max(results["local"]["requests_per_sec"], 1e-9), 3,
             ),
-            "cold_halo_mb": results[f"shards{world}_cold"]["halo_mb"],
+            "cold_halo_mb": results[f"{prefix}_cold"]["halo_mb"],
             "warm_halo_mb": warm["halo_mb"],
         }
+        return prefix
+
+    if args.backend in ("thread", "both"):
+        for world in sizes["worlds"]:
+            run_cluster("thread", world)
+    if args.backend in ("mp", "both"):
+        for world in sizes["mp_worlds"]:
+            run_cluster("mp", world)
 
     total = sizes["clients"] * sizes["requests_per_client"]
     print(
@@ -183,12 +221,14 @@ def main(argv=None) -> int:
         f"{sizes['num_layers']} layers, {sizes['clients']} clients x "
         f"{sizes['requests_per_client']} requests ({total} total), "
         f"window={sizes['window_ms']}ms, cache={sizes['cache_mb']}MB/worker, "
-        f"shards={list(sizes['worlds'])}"
+        f"shards={list(sizes['worlds'])} (thread) / "
+        f"{list(sizes['mp_worlds'])} (mp), backend={args.backend}"
     )
 
     report = {
         "meta": {
             "mode": "smoke" if args.smoke else "full",
+            "backend": args.backend,
             "sizes": {k: list(v) if isinstance(v, tuple) else v
                       for k, v in sizes.items()},
             "num_nodes": graph.num_nodes,

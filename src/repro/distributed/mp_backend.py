@@ -37,7 +37,9 @@ Failure semantics
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -58,6 +60,29 @@ _ABORT_KEY = (-1, "__abort__")
 
 class WorkerFailedError(RuntimeError):
     """One or more worker processes raised, died, or timed out."""
+
+
+def _poison_cluster(store, barrier, condition, message: str) -> None:
+    """Flag the cluster as aborted and wake every blocked worker.
+
+    Writes the abort message into the shared store (every communicator wait
+    loop checks it), breaks the barrier (unblocks collectives), and
+    broadcasts the store condition (unblocks parked ``_wait_get`` readers).
+    Each step tolerates a Manager that is already torn down.
+    """
+    try:
+        store[_ABORT_KEY] = message
+    except Exception:  # pragma: no cover - manager already gone
+        pass
+    try:
+        barrier.abort()
+    except Exception:  # pragma: no cover - manager already gone
+        pass
+    try:
+        with condition:
+            condition.notify_all()
+    except Exception:  # pragma: no cover - manager already gone
+        pass
 
 
 class MultiprocessCommunicator(Communicator):
@@ -268,13 +293,7 @@ def run_multiprocess(worker_fn: Callable[..., Any], world_size: int,
             if aborted:
                 return
             aborted = True
-            store[_ABORT_KEY] = message
-            try:
-                barrier.abort()
-            except Exception:  # pragma: no cover - manager already torn down
-                pass
-            with condition:
-                condition.notify_all()
+            _poison_cluster(store, barrier, condition, message)
             deadline = min(deadline, time.monotonic() + _ABORT_GRACE_S)
 
         def _record(rank: int, status: str, payload: Any) -> None:
@@ -337,3 +356,318 @@ def run_multiprocess(worker_fn: Callable[..., Any], world_size: int,
         if errors:
             raise WorkerFailedError("multiprocess workers failed: " + "; ".join(errors))
     return results
+
+
+# --------------------------------------------------------------------------- #
+# long-lived service workers (request/response loop per forked process)
+# --------------------------------------------------------------------------- #
+
+#: request kinds reserved by the worker loop itself.
+_STOP_KIND = "__stop__"
+_CRASH_KIND = "__crash__"
+#: job id carrying each worker's startup acknowledgement.
+_INIT_JOB = 0
+#: how long stop() lets workers drain before escalating terminate -> kill.
+_STOP_GRACE_S = 2.0
+
+
+def portable(payload: Any) -> Any:
+    """Make a response payload cheap and safe to ship through an mp queue.
+
+    Queue transport pickles every payload; a non-contiguous array (a slice,
+    a transpose) pickles through a private copy anyway, so taking the
+    contiguous copy *here* keeps the feeder thread from doing it and makes
+    the cost explicit at the call site.  Tuples/lists/dicts are walked;
+    everything else is returned untouched (and must be picklable).
+    """
+    if isinstance(payload, np.ndarray):
+        return np.ascontiguousarray(payload)
+    if isinstance(payload, tuple):
+        return tuple(portable(item) for item in payload)
+    if isinstance(payload, list):
+        return [portable(item) for item in payload]
+    if isinstance(payload, dict):
+        return {key: portable(value) for key, value in payload.items()}
+    return payload
+
+
+def _service_worker(rank: int, world_size: int, store, barrier, condition,
+                    requests, responses, service_factory, timeout_s: float) -> None:
+    """Long-lived request loop of one forked service worker.
+
+    ``service_factory(rank, comm)`` builds the worker's state (graph handles,
+    stores, caches — collective construction is fine: every worker runs it
+    concurrently) and returns a ``handler(kind, payload)`` callable.  The
+    loop then answers ``(kind, job_id, payload)`` requests until the stop
+    sentinel arrives.  A handler exception poisons the cluster before the
+    error response is posted, so peers blocked in the failed job's
+    collectives unblock within one wait slice instead of timing out.
+    """
+    comm = MultiprocessCommunicator(rank, world_size, store, barrier, condition,
+                                    timeout_s=timeout_s)
+    try:
+        handler = service_factory(rank, comm)
+    except BaseException as exc:  # noqa: BLE001 - report to parent, unblock peers
+        _poison_cluster(store, barrier, condition,
+                        f"rank {rank} failed to initialize: {exc!r}")
+        responses.put((rank, _INIT_JOB, "error", repr(exc)))
+        return
+    responses.put((rank, _INIT_JOB, "ok", None))
+    while True:
+        kind, job_id, payload = requests.get()
+        if kind == _STOP_KIND:
+            break
+        if kind == _CRASH_KIND:
+            # Fault injection (tests): die mid-job without posting anything,
+            # exactly like a segfault between dequeue and response.
+            os._exit(13)
+        try:
+            result = handler(kind, payload)
+        except BaseException as exc:  # noqa: BLE001 - keep the loop alive
+            _poison_cluster(store, barrier, condition,
+                            f"rank {rank} failed on job {job_id}: {exc!r}")
+            responses.put((rank, job_id, "error", repr(exc)))
+            continue
+        responses.put((rank, job_id, "ok", portable(result)))
+
+
+class MultiprocessServiceCluster:
+    """``world_size`` long-lived forked worker processes behind job queues.
+
+    :func:`run_multiprocess` forks, runs one function, and reaps — the right
+    shape for training jobs.  Serving needs the opposite lifecycle: workers
+    that build their state once (shard graph handles, feature stores,
+    caches) and then answer an open-ended stream of small requests.  This
+    cluster provides that loop:
+
+    * every worker gets its own request queue; :meth:`request` posts one
+      ``(kind, payload)`` job to **all** of them and blocks until every rank
+      responded (responses cross one shared queue, matched by job id);
+    * while waiting, the parent polls ``Process.is_alive`` alongside the
+      response queue — a worker that dies without responding fails the job
+      with :class:`WorkerFailedError` naming the dead rank, after poisoning
+      the cluster so surviving workers blocked in the dead job's collectives
+      unblock promptly (no hang);
+    * a poisoned cluster fails every later :meth:`request` immediately;
+      :meth:`stop` remains the only teardown path and always reaps: stop
+      sentinels first, then join, then terminate -> kill stragglers, then
+      the Manager process itself — no child outlives it.
+
+    Requires the ``fork`` start method: workers inherit the factory's
+    captured state (model, shards, feature matrices) by address-space copy
+    instead of pickling.  Request/response payloads *do* cross a pickling
+    queue — keep them to the per-job data (seed ids, logit rows, state
+    dicts).
+    """
+
+    def __init__(self, service_factory: Callable[[int, Communicator], Callable],
+                 world_size: int, timeout_s: float = _DEFAULT_TIMEOUT_S,
+                 name: str = "service"):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.name = name
+        self._service_factory = service_factory
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._manager = None
+        self._store = None
+        self._barrier = None
+        self._condition = None
+        self._requests: List[Any] = []
+        self._responses = None
+        self._processes: List[mp.process.BaseProcess] = []
+        self._job_counter = _INIT_JOB
+        self._started = False
+        self._stopped = False
+        self._failure: Optional[str] = None
+
+    # -- lifecycle -------------------------------------------------------- #
+    def start(self) -> "MultiprocessServiceCluster":
+        """Fork the workers and wait for every rank's startup ack."""
+        if self._started:
+            raise RuntimeError("cluster is already started")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "MultiprocessServiceCluster requires the 'fork' start method "
+                "(workers inherit the service state by address-space copy); "
+                "this platform does not support fork"
+            )
+        ctx = mp.get_context("fork")
+        self._manager = mp.Manager()
+        self._store = self._manager.dict()
+        self._barrier = self._manager.Barrier(self.world_size)
+        self._condition = self._manager.Condition()
+        self._requests = [ctx.Queue() for _ in range(self.world_size)]
+        self._responses = ctx.Queue()
+        self._processes = [
+            ctx.Process(
+                target=_service_worker,
+                args=(rank, self.world_size, self._store, self._barrier,
+                      self._condition, self._requests[rank], self._responses,
+                      self._service_factory, self._timeout_s),
+                name=f"{self.name}-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.world_size)
+        ]
+        self._started = True
+        for process in self._processes:
+            process.start()
+        try:
+            self._collect(_INIT_JOB)
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Reap every worker (graceful drain, then terminate -> kill) — idempotent."""
+        if self._stopped or not self._started:
+            self._stopped = True
+            return
+        self._stopped = True
+        for process, requests in zip(self._processes, self._requests):
+            if process.is_alive():
+                try:
+                    requests.put((_STOP_KIND, -1, None))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for process in self._processes:
+            process.join(timeout=_STOP_GRACE_S)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            if process.is_alive():
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
+                process.join(timeout=5.0)
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    # -- introspection ---------------------------------------------------- #
+    @property
+    def processes(self) -> List[mp.process.BaseProcess]:
+        """The worker processes, indexed by rank (for liveness checks)."""
+        return list(self._processes)
+
+    @property
+    def running(self) -> bool:
+        return (self._started and not self._stopped
+                and all(p.is_alive() for p in self._processes))
+
+    @property
+    def failure(self) -> Optional[str]:
+        """The message that poisoned the cluster, or ``None`` while healthy."""
+        return self._failure
+
+    # -- job dispatch ------------------------------------------------------ #
+    def request(self, kind: str, payload: Any = None) -> List[Any]:
+        """Run one job on every worker; per-rank responses indexed by rank.
+
+        Thread-safe (jobs from concurrent callers are serialized, so every
+        worker sees the same job order).  Raises :class:`WorkerFailedError`
+        if any worker errors or dies before responding.
+        """
+        with self._lock:
+            if not self._started or self._stopped:
+                raise RuntimeError("cluster is not running")
+            if self._failure is not None:
+                raise WorkerFailedError(
+                    f"cluster is poisoned by an earlier failure: {self._failure}"
+                )
+            self._job_counter += 1
+            job_id = self._job_counter
+            for requests in self._requests:
+                requests.put((kind, job_id, portable(payload)))
+            return self._collect(job_id)
+
+    def inject_crash(self, rank: int) -> None:
+        """Fault injection: make ``rank`` die mid-loop before its next job.
+
+        The crash sentinel is queued in order, so a job posted *after* this
+        call finds the rank already dead — the deterministic way for tests
+        to exercise the mid-request failure path.
+        """
+        self._requests[rank].put((_CRASH_KIND, -1, None))
+
+    def _collect(self, job_id: int) -> List[Any]:
+        """Drain responses for ``job_id`` with liveness polling (see class doc)."""
+        results: List[Any] = [None] * self.world_size
+        reported: set = set()
+        errors: List[str] = []
+        deadline = time.monotonic() + self._timeout_s
+
+        def _record(rank: int, status: str, payload: Any) -> None:
+            reported.add(rank)
+            if status == "ok":
+                results[rank] = payload
+            elif errors and "cluster aborted" in str(payload):
+                # Follow-on failure of a survivor the poisoning unblocked;
+                # the root cause is already recorded.
+                pass
+            else:
+                errors.append(f"rank {rank}: {payload}")
+                self._poison(errors[-1])
+
+        def _drain_one() -> bool:
+            try:
+                rank, jid, status, payload = self._responses.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                return False
+            if jid == job_id:
+                _record(rank, status, payload)
+            # Stale responses (an aborted earlier job's stragglers) are
+            # dropped: their job already raised in the parent.
+            return True
+
+        while len(reported) < self.world_size and not (errors and
+                                                       reported >= self._live_or_reported(reported)):
+            if _drain_one():
+                continue
+            if time.monotonic() > deadline:
+                missing = sorted(set(range(self.world_size)) - reported)
+                errors.append(
+                    f"timed out after {self._timeout_s:.0f}s waiting for "
+                    f"ranks {missing}"
+                )
+                self._poison(errors[-1])
+                break
+            crashed = [r for r in range(self.world_size)
+                       if r not in reported and not self._processes[r].is_alive()]
+            if not crashed:
+                continue
+            # A dead rank's response may still be in flight through the
+            # queue feeder — drain once more before declaring it crashed.
+            if _drain_one():
+                continue
+            for rank in crashed:
+                if rank not in reported:
+                    _record(rank, "error",
+                            "worker process died without responding "
+                            f"(exitcode {self._processes[rank].exitcode})")
+        if errors:
+            raise WorkerFailedError(
+                f"{self.name} workers failed: " + "; ".join(errors)
+            )
+        return results
+
+    def _live_or_reported(self, reported: set) -> set:
+        """Ranks we can still expect a response from, plus those heard."""
+        return reported | {
+            r for r in range(self.world_size) if self._processes[r].is_alive()
+        }
+
+    def _poison(self, message: str) -> None:
+        if self._failure is None:
+            self._failure = message
+        _poison_cluster(self._store, self._barrier, self._condition, message)
+
+    def __enter__(self) -> "MultiprocessServiceCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -538,6 +538,14 @@ def distributed_restricted_logits(
     rank = comm.rank
     assignment = book.assignment
     num_layers = check_layered_model(model)
+    if getattr(model, "training", False):
+        # Train-mode layers (dropout) would break both bit-parity with the
+        # local server and the replicated collective schedule — refuse
+        # loudly instead of serving garbage.
+        raise ValueError(
+            "distributed_restricted_logits requires the model in eval() "
+            "mode (train-mode dropout breaks bit-parity across workers)"
+        )
     store = as_feature_store(store)
     num_total = dist_graph.num_total_nodes
     if store.num_rows != num_total:

@@ -1,27 +1,33 @@
-"""Online inference serving: one configured surface over two backends.
+"""Online inference serving: one configured surface over three backends.
 
 Build servers with :func:`create_server`: a :class:`ServingConfig` selects
 ``backend="local"`` (one machine holding the whole graph —
-:class:`InferenceServer`) or ``backend="distributed"`` (a micro-batching
-frontend over per-shard workers — :class:`DistributedInferenceServer`), and
-both implement :class:`ServerProtocol`
+:class:`InferenceServer`), ``backend="distributed"`` (a micro-batching
+frontend over per-shard worker threads —
+:class:`DistributedInferenceServer`), or ``backend="mp"`` (the same
+frontend over one forked worker *process* per shard —
+:class:`MultiprocessInferenceServer`), and all implement
+:class:`ServerProtocol`
 (``start/stop/predict/predict_async/update/stats/version``) with one
 documented ``stats()`` shape.
 
 See ``docs/serving.md`` for the request lifecycle, micro-batch window
-semantics, cache-consistency rules, and the distributed request path.
+semantics, cache-consistency rules, the distributed request path, and the
+thread-vs-process backend trade.
 """
 
 from repro.serving.cache import EmbeddingCache
 from repro.serving.config import ServerProtocol, ServingConfig
 from repro.serving.server import InferenceServer
 from repro.serving.distributed import DistributedInferenceServer
+from repro.serving.mp_server import MultiprocessInferenceServer
 from repro.serving.factory import create_server
 
 __all__ = [
     "EmbeddingCache",
     "InferenceServer",
     "DistributedInferenceServer",
+    "MultiprocessInferenceServer",
     "ServerProtocol",
     "ServingConfig",
     "create_server",

@@ -17,7 +17,7 @@ from typing import Any, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
-_BACKENDS = ("local", "distributed")
+_BACKENDS = ("local", "distributed", "mp")
 _ADMISSIONS = ("none", "frequency")
 _FEATURE_STORES = ("dense", "kv")
 
@@ -31,7 +31,10 @@ class ServingConfig:
     """
 
     #: ``"local"`` serves one machine holding the whole graph;
-    #: ``"distributed"`` fronts a partitioned graph with per-shard workers.
+    #: ``"distributed"`` fronts a partitioned graph with per-shard worker
+    #: threads; ``"mp"`` fronts the same shards with one forked worker
+    #: *process* per shard (real parallelism, queue-serialized payloads —
+    #: see ``docs/serving.md`` for the trade).
     backend: str = "local"
     #: micro-batching window: requests arriving within this many
     #: milliseconds of each other coalesce into one deduplicated execution
@@ -107,6 +110,21 @@ class ServingConfig:
         if self.restriction_slots < 1:
             raise ValueError(
                 f"restriction_slots must be >= 1, got {self.restriction_slots}"
+            )
+        # Cross-field combinations that would only fail (or silently do
+        # nothing) deep inside a running server are rejected here instead.
+        if self.cache_admission != "none" and self.byte_budget is None:
+            raise ValueError(
+                f"cache_admission={self.cache_admission!r} configures the "
+                f"embedding cache's admission gate, but byte_budget=None "
+                f"disables the cache entirely; set a byte_budget or leave "
+                f"cache_admission='none'"
+            )
+        if self.predict_timeout_s * 1e3 <= self.window_ms:
+            raise ValueError(
+                f"predict_timeout_s ({self.predict_timeout_s}s) must exceed "
+                f"the coalescing window ({self.window_ms}ms) or every "
+                f"synchronous predict times out before its batch can close"
             )
 
 

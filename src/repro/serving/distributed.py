@@ -68,54 +68,57 @@ def _aggregate_counters(dicts: List[dict]) -> Optional[dict]:
     return out
 
 
-class DistributedInferenceServer(_MicroBatchServerBase):
-    """Serve ``predict(node_ids)`` over a partitioned graph.
+def _build_worker_store(spec, config: ServingConfig, book, rank: int,
+                        comm) -> FeatureStore:
+    """Materialize rank ``rank``'s :class:`FeatureStore` from a checked spec.
 
-    Parameters
-    ----------
-    model:
-        A trained module exposing ``num_layers`` and ``forward_layer`` —
-        shared by all shard worker threads (safe: ``eval()``-mode layers
-        are stateless in their forward pass); mutate it only through
-        :meth:`update`.
-    shards:
-        One :class:`~repro.partition.shard.ShardedGraph` per worker, in
-        rank order, all sharing one partition book (what
-        :func:`repro.partition.shard.create_shards` returns).
-    features:
-        Any of: the global ``(num_nodes, dim)`` feature matrix; one
-        :class:`~repro.store.FeatureStore` covering the global rows (used
-        as-is, shared by all workers); a per-worker list of owned-row
-        matrices (``shards[p]``'s rows in local order); or a per-worker
-        list of global-coverage stores.  With
-        ``config.feature_store="kv"`` matrices become per-worker
-        :class:`~repro.store.PartitionedKVStore`\\ s (owned rows resident,
-        remote rows pulled through a hot-row cache); ``"dense"`` shares one
-        dense matrix.
-    config:
-        A :class:`~repro.serving.ServingConfig` with
-        ``backend="distributed"``.
+    ``spec`` is whatever :meth:`_ShardServerBase._check_features` returned —
+    a shared global store, a per-worker store list, the global matrix, or a
+    per-worker owned-row matrix list.  Called once per worker; with
+    ``config.feature_store="kv"`` the returned
+    :class:`~repro.store.PartitionedKVStore` publishes this rank's owned
+    rows through ``comm`` at construction (peers fetch them on demand), so
+    all workers must build their stores concurrently.
+    """
+    if isinstance(spec, FeatureStore):
+        return spec
+    if isinstance(spec, list) and spec and isinstance(spec[0], FeatureStore):
+        return spec[rank]
+    if isinstance(spec, np.ndarray):
+        own = spec[book.nodes_of(rank)]
+    else:  # per-worker owned-row matrices
+        own = spec[rank]
+    if config.feature_store == "kv":
+        return PartitionedKVStore(
+            comm, book, own, name="serving",
+            cache_bytes=config.feature_cache_bytes,
+        )
+    if isinstance(spec, np.ndarray):
+        matrix = spec
+    else:
+        matrix = np.empty((book.num_nodes, spec[0].shape[1]),
+                          dtype=spec[0].dtype)
+        for p in range(book.num_parts):
+            matrix[book.nodes_of(p)] = spec[p]
+    return DenseStore(matrix)
 
-    The cluster (thread-backend communicators, per-worker
-    :class:`~repro.core.dist_graph.DistributedGraph` handles, feature
-    stores, embedding caches, and worker threads) is brought up by
-    :meth:`start` and torn down by :meth:`stop`.
+
+class _ShardServerBase(_MicroBatchServerBase):
+    """Shared frontend of the shard-backed serving backends.
+
+    Both the thread-backed :class:`DistributedInferenceServer` and the
+    process-backed :class:`~repro.serving.mp_server.
+    MultiprocessInferenceServer` serve a shard list over the same
+    micro-batching frontend; this base holds what is identical between
+    them — shard/book validation, features-spec checking, and the scatter
+    of per-worker owned logit rows back into batch seed order.
     """
 
-    backend = "distributed"
-
-    def __init__(
-        self,
-        model,
-        shards: Sequence[ShardedGraph],
-        features,
-        config: Optional[ServingConfig] = None,
-    ):
-        if config is None:
-            config = ServingConfig(backend="distributed")
-        if config.backend != "distributed":
+    def __init__(self, model, shards: Sequence[ShardedGraph], features,
+                 config: ServingConfig):
+        if config.backend != self.backend:
             raise ValueError(
-                f"DistributedInferenceServer is the distributed backend; "
+                f"{type(self).__name__} is the {self.backend} backend; "
                 f"config.backend={config.backend!r} (use "
                 f"repro.serving.create_server to dispatch on the backend)"
             )
@@ -138,15 +141,6 @@ class DistributedInferenceServer(_MicroBatchServerBase):
         self.book = book
         self._world = len(shards)
         self._features_spec = self._check_features(features)
-        self._comms = None
-        self._shared_store = None
-        self._dist_graphs: List[DistributedGraph] = []
-        self._stores: List[FeatureStore] = []
-        self._caches: List[Optional[EmbeddingCache]] = []
-        self._own_kv_stores: List[PartitionedKVStore] = []
-        self._job_queues: List["queue.Queue"] = []
-        self._workers: List[threading.Thread] = []
-        self._version_counter = 1
 
     # ------------------------------------------------------------------ #
     # feature materialization
@@ -192,6 +186,96 @@ class DistributedInferenceServer(_MicroBatchServerBase):
                 )
         return arrays
 
+    def _features_dtype(self):
+        """Served logit dtype, readable from the spec before any cluster is up."""
+        spec = self._features_spec
+        if isinstance(spec, (FeatureStore, np.ndarray)):
+            return spec.dtype
+        return spec[0].dtype
+
+    def _output_dtype(self):
+        return self._features_dtype()
+
+    # ------------------------------------------------------------------ #
+    # batch assembly
+    # ------------------------------------------------------------------ #
+    def _scatter_owned(self, seeds: np.ndarray, results):
+        """Merge per-worker ``(owned_seeds, rows, input_layer)`` results.
+
+        Every worker returns the logit rows of the batch seeds *it owns*
+        (in ascending owned-seed order); scattering them back by
+        ``searchsorted`` rebuilds the batch's seed order.  Returns the
+        ``(logits, input_layer)`` pair :meth:`_compute` must produce.
+        """
+        out = None
+        for owned_ids, rows, _ in results:
+            if rows is None:
+                continue
+            if out is None:
+                out = np.empty((len(seeds), rows.shape[1]), dtype=rows.dtype)
+            out[np.searchsorted(seeds, owned_ids)] = rows
+        return out, results[0][2]
+
+
+class DistributedInferenceServer(_ShardServerBase):
+    """Serve ``predict(node_ids)`` over a partitioned graph.
+
+    Parameters
+    ----------
+    model:
+        A trained module exposing ``num_layers`` and ``forward_layer`` —
+        shared by all shard worker threads (safe: ``eval()``-mode layers
+        are stateless in their forward pass); mutate it only through
+        :meth:`update`.
+    shards:
+        One :class:`~repro.partition.shard.ShardedGraph` per worker, in
+        rank order, all sharing one partition book (what
+        :func:`repro.partition.shard.create_shards` returns).
+    features:
+        Any of: the global ``(num_nodes, dim)`` feature matrix; one
+        :class:`~repro.store.FeatureStore` covering the global rows (used
+        as-is, shared by all workers); a per-worker list of owned-row
+        matrices (``shards[p]``'s rows in local order); or a per-worker
+        list of global-coverage stores.  With
+        ``config.feature_store="kv"`` matrices become per-worker
+        :class:`~repro.store.PartitionedKVStore`\\ s (owned rows resident,
+        remote rows pulled through a hot-row cache); ``"dense"`` shares one
+        dense matrix.
+    config:
+        A :class:`~repro.serving.ServingConfig` with
+        ``backend="distributed"``.
+
+    The cluster (thread-backend communicators, per-worker
+    :class:`~repro.core.dist_graph.DistributedGraph` handles, feature
+    stores, embedding caches, and worker threads) is brought up by
+    :meth:`start` and torn down by :meth:`stop`.
+    """
+
+    backend = "distributed"
+
+    def __init__(
+        self,
+        model,
+        shards: Sequence[ShardedGraph],
+        features,
+        config: Optional[ServingConfig] = None,
+    ):
+        if config is None:
+            config = ServingConfig(backend="distributed")
+        super().__init__(model, shards, features, config)
+        self._comms = None
+        self._shared_store = None
+        self._dist_graphs: List[DistributedGraph] = []
+        self._stores: List[FeatureStore] = []
+        self._caches: List[Optional[EmbeddingCache]] = []
+        self._own_kv_stores: List[PartitionedKVStore] = []
+        self._job_queues: List["queue.Queue"] = []
+        self._workers: List[threading.Thread] = []
+        self._version_counter = 1
+
+    # ------------------------------------------------------------------ #
+    # feature materialization
+    # ------------------------------------------------------------------ #
     def _materialize_stores(self) -> List[FeatureStore]:
         spec = self._features_spec
         config = self.config
@@ -326,14 +410,7 @@ class DistributedInferenceServer(_MicroBatchServerBase):
             jobs.put((seeds, future))
             futures.append(future)
         results = [f.result(self.config.comm_timeout_s) for f in futures]
-        out = None
-        for owned_ids, rows, _ in results:
-            if rows is None:
-                continue
-            if out is None:
-                out = np.empty((len(seeds), rows.shape[1]), dtype=rows.dtype)
-            out[np.searchsorted(seeds, owned_ids)] = rows
-        return out, results[0][2]
+        return self._scatter_owned(seeds, results)
 
     def _apply_update(self, apply_fn: Optional[Callable]) -> int:
         # Runs on the frontend serve-loop thread with no batch in flight —
@@ -354,9 +431,6 @@ class DistributedInferenceServer(_MicroBatchServerBase):
             cache.version for cache in self._caches if cache is not None
         ]
         return max(versions)
-
-    def _output_dtype(self):
-        return self._stores[0].dtype
 
     def _backend_stats(self) -> dict:
         workers = [

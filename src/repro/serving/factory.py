@@ -8,6 +8,7 @@ from repro.graph.graph import Graph
 from repro.partition.shard import ShardedGraph
 from repro.serving.config import ServingConfig
 from repro.serving.distributed import DistributedInferenceServer
+from repro.serving.mp_server import MultiprocessInferenceServer
 from repro.serving.server import InferenceServer
 
 
@@ -17,12 +18,14 @@ def create_server(model, graph_or_shards, features_or_store,
 
     ``backend="local"`` takes a :class:`~repro.graph.graph.Graph` plus the
     feature matrix (or a :class:`~repro.store.FeatureStore`) and returns an
-    :class:`~repro.serving.InferenceServer`; ``backend="distributed"``
-    takes the per-worker :class:`~repro.partition.shard.ShardedGraph` list
-    (what :func:`repro.partition.shard.create_shards` returns) plus global
-    or per-worker features and returns a
-    :class:`~repro.serving.DistributedInferenceServer`.  Both implement
-    :class:`~repro.serving.ServerProtocol`; neither is started — call
+    :class:`~repro.serving.InferenceServer`.  ``backend="distributed"``
+    and ``backend="mp"`` take the per-worker :class:`~repro.partition.
+    shard.ShardedGraph` list (what :func:`repro.partition.shard.
+    create_shards` returns) plus global or per-worker features and return
+    a :class:`~repro.serving.DistributedInferenceServer` (shard worker
+    threads) or a :class:`~repro.serving.MultiprocessInferenceServer`
+    (one forked shard process each) respectively.  All implement
+    :class:`~repro.serving.ServerProtocol`; none is started — call
     ``start()`` or use the returned server as a context manager.
     """
     if config is None:
@@ -45,15 +48,18 @@ def create_server(model, graph_or_shards, features_or_store,
                                config=config)
     if isinstance(graph_or_shards, Graph):
         raise ValueError(
-            "backend='distributed' serves a list of ShardedGraph shards "
-            "(see repro.partition.shard.create_shards), got a Graph"
+            f"backend={config.backend!r} serves a list of ShardedGraph "
+            f"shards (see repro.partition.shard.create_shards), got a Graph"
         )
     if not isinstance(graph_or_shards, (list, tuple)) or not all(
         isinstance(s, ShardedGraph) for s in graph_or_shards
     ):
         raise ValueError(
-            f"backend='distributed' serves a list of ShardedGraph shards, "
-            f"got {type(graph_or_shards).__name__}"
+            f"backend={config.backend!r} serves a list of ShardedGraph "
+            f"shards, got {type(graph_or_shards).__name__}"
         )
+    if config.backend == "mp":
+        return MultiprocessInferenceServer(model, graph_or_shards,
+                                           features_or_store, config=config)
     return DistributedInferenceServer(model, graph_or_shards,
                                       features_or_store, config=config)

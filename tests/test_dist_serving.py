@@ -26,6 +26,7 @@ The subsystem contract under test (``repro/serving/``):
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -298,6 +299,22 @@ def test_serving_config_validates():
         ServingConfig(restriction_slots=0)
 
 
+def test_serving_config_rejects_invalid_cross_field_combinations():
+    """Combinations that would only misbehave mid-serve raise at construction."""
+    # An admission gate on a disabled cache silently configures nothing.
+    with pytest.raises(ValueError, match="byte_budget"):
+        ServingConfig(cache_admission="frequency", byte_budget=None)
+    # A predict timeout inside the coalescing window can never be met.
+    with pytest.raises(ValueError, match="predict_timeout_s"):
+        ServingConfig(window_ms=500.0, predict_timeout_s=0.25)
+    # The boundary itself is rejected (timeout must strictly exceed).
+    with pytest.raises(ValueError, match="predict_timeout_s"):
+        ServingConfig(window_ms=1000.0, predict_timeout_s=1.0)
+    # Valid neighbours of both combinations still construct.
+    ServingConfig(cache_admission="frequency", byte_budget=1 << 16)
+    ServingConfig(window_ms=500.0, predict_timeout_s=1.0)
+
+
 def test_legacy_kwargs_deprecated_but_equivalent(dataset):
     model = _make_model(dataset)
     with pytest.warns(DeprecationWarning, match="cache_bytes is now byte_budget"):
@@ -431,3 +448,149 @@ def test_stats_shape_is_shared_and_workers_carry_comm_telemetry(dataset):
     assert agg["hits"] == sum(
         w["embedding_cache"]["hits"] for w in workers
     )
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle properties: one contract, every backend
+# --------------------------------------------------------------------------- #
+_ALL_BACKENDS = ["local", "distributed", "mp"]
+
+
+@pytest.fixture(params=_ALL_BACKENDS)
+def backend_server(request, dataset):
+    """An unstarted server of each backend over the same model and graph.
+
+    One fixture drives the whole lifecycle matrix so a new backend only has
+    to join ``_ALL_BACKENDS`` to inherit every property test below.
+    """
+    if request.param == "mp":
+        import multiprocessing as _mp
+
+        if "fork" not in _mp.get_all_start_methods():
+            pytest.skip("mp serving backend requires the fork start method")
+    model = _make_model(dataset)
+    config = ServingConfig(backend=request.param, window_ms=0.0)
+    if request.param == "local":
+        server = create_server(model, dataset.graph, dataset.features, config)
+    else:
+        shards = _make_shards(dataset, 2)
+        server = create_server(model, shards, dataset.features, config)
+    yield server
+    server.stop()
+
+
+def test_backend_lifecycle_never_started_raises_clearly(backend_server):
+    with pytest.raises(RuntimeError, match="never started"):
+        backend_server.predict([0])
+    with pytest.raises(RuntimeError, match="never started"):
+        backend_server.update(lambda m: None)
+    # Both phrasings keep the historical "not running" needle.
+    with pytest.raises(RuntimeError, match="not running"):
+        backend_server.predict([0])
+
+
+def test_backend_lifecycle_stop_is_terminal(backend_server):
+    server = backend_server.start()
+    assert server.running
+    assert server.start() is server  # idempotent while running
+    assert server.predict([0, 1]).shape[0] == 2
+    server.stop()
+    server.stop()  # idempotent after stop
+    assert not server.running
+    with pytest.raises(RuntimeError, match="not running") as excinfo:
+        server.predict([0])
+    assert "never started" not in str(excinfo.value)
+    with pytest.raises(RuntimeError, match="not running"):
+        server.update()
+    with pytest.raises(RuntimeError, match="restarted"):
+        server.start()
+
+
+def test_backend_lifecycle_validates_requests(backend_server):
+    with backend_server as server:
+        assert server.predict(np.array([], dtype=np.int64)).size == 0
+        with pytest.raises(ValueError, match="node_ids"):
+            server.predict([server._num_nodes])
+        with pytest.raises(ValueError, match="node_ids"):
+            server.predict([-1])
+        assert server.stats()["backend"] == server.backend
+
+
+# --------------------------------------------------------------------------- #
+# soak: many clients x many tiny requests against the thread backend
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+def test_thread_backend_soak_randomized_clients(dataset):
+    """Sustained randomized load never serves a wrong or stale row.
+
+    Regression coverage for the PR 9 stale-publish race: per-batch
+    activations publish under step-namespaced keys, so a worker lagging at
+    a batch boundary must never fetch a *previous* batch's rows.  Under
+    unsynchronized clients (random think times), window coalescing, and
+    concurrent version bumps, every response is still required to be
+    bit-identical to the full-graph forward — a single stale fetch would
+    surface as a wrong row.  Also asserts the frontend's stats() counters
+    stay mutually consistent after the storm.
+    """
+    model = _make_model(dataset, "sage")
+    reference = _reference_logits(model, dataset.graph, dataset.features)
+    shards = _make_shards(dataset, 3)
+    config = ServingConfig(
+        backend="distributed", window_ms=1.0, byte_budget=1 << 18
+    )
+    num_clients, requests_per_client = 8, 50
+    rng = np.random.default_rng(23)
+    streams = [
+        rng.integers(0, dataset.graph.num_nodes, size=(requests_per_client, 2))
+        for _ in range(num_clients)
+    ]
+    sleeps = rng.uniform(0.0, 2e-3, size=(num_clients, requests_per_client))
+    errors: list = []
+    stop_bumping = threading.Event()
+    with create_server(model, shards, dataset.features, config) as server:
+
+        def client(idx):
+            try:
+                for step, ids in enumerate(streams[idx]):
+                    time.sleep(sleeps[idx][step])
+                    rows = server.predict(ids.tolist())
+                    np.testing.assert_array_equal(rows, reference[ids])
+            except BaseException as exc:
+                errors.append(exc)
+
+        def bumper():
+            # Cache invalidations racing the request storm: every bump
+            # forces cold recomputes mid-flight on every shard.
+            try:
+                while not stop_bumping.wait(0.05):
+                    server.bump_version()
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(num_clients)
+        ]
+        bump_thread = threading.Thread(target=bumper)
+        for t in threads:
+            t.start()
+        bump_thread.start()
+        for t in threads:
+            t.join()
+        stop_bumping.set()
+        bump_thread.join()
+        stats = server.stats()
+
+    assert not errors
+    total = num_clients * requests_per_client
+    assert stats["requests"] == total  # version bumps don't count as requests
+    assert stats["served_requests"] == total
+    assert stats["batches"] <= total
+    assert sum(stats["frontier_layers"].values()) == stats["batches"]
+    assert stats["seeds_executed"] >= stats["batches"]
+    assert stats["max_requests_in_batch"] >= 1
+    assert stats["queue_depth"] == 0
+    assert stats["updates"] >= 1
+    # Every shard saw every version bump (no shard served stale entries).
+    versions = {w["embedding_cache"]["version"] for w in stats["workers"]}
+    assert len(versions) == 1
